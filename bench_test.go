@@ -1,0 +1,63 @@
+// The benchmark harness: one testing.B benchmark per experiment in the
+// per-experiment index of DESIGN.md. Each benchmark regenerates its
+// table/figure and prints the series once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every table and figure of the paper in one run (the same
+// tables cmd/experiments prints).
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := e.Run(1)
+		if _, printed := printOnce.LoadOrStore(id, true); !printed {
+			fmt.Printf("\n%s\n", tab)
+		}
+	}
+}
+
+func BenchmarkE01Figure1(b *testing.B)            { benchExperiment(b, "E1") }
+func BenchmarkE02ModuleCensus(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE03HammerSweep(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE04RefreshSweep(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE05Countermeasures(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE06PARA(b *testing.B)               { benchExperiment(b, "E6") }
+func BenchmarkE07ECC(b *testing.B)                { benchExperiment(b, "E7") }
+func BenchmarkE08CRA(b *testing.B)                { benchExperiment(b, "E8") }
+func BenchmarkE09ANVIL(b *testing.B)              { benchExperiment(b, "E9") }
+func BenchmarkE10RefreshBurden(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11RetentionProfiling(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12VRTScrubbing(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13FlashBER(b *testing.B)           { benchExperiment(b, "E13") }
+func BenchmarkE14FCR(b *testing.B)                { benchExperiment(b, "E14") }
+func BenchmarkE15ReadDisturb(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16RFR(b *testing.B)                { benchExperiment(b, "E16") }
+func BenchmarkE17NAC(b *testing.B)                { benchExperiment(b, "E17") }
+func BenchmarkE18TwoStep(b *testing.B)            { benchExperiment(b, "E18") }
+func BenchmarkE19PARAPlacement(b *testing.B)      { benchExperiment(b, "E19") }
+func BenchmarkE20PCMWear(b *testing.B)            { benchExperiment(b, "E20") }
+func BenchmarkE21PrivEsc(b *testing.B)            { benchExperiment(b, "E21") }
+func BenchmarkE22TRRBypass(b *testing.B)          { benchExperiment(b, "E22") }
+func BenchmarkE23OnlineProfiling(b *testing.B)    { benchExperiment(b, "E23") }
+func BenchmarkE24FieldStudy(b *testing.B)         { benchExperiment(b, "E24") }
+func BenchmarkE25RAIDRTradeoff(b *testing.B)      { benchExperiment(b, "E25") }
+func BenchmarkE26PARARadius(b *testing.B)         { benchExperiment(b, "E26") }
+func BenchmarkE27DPDStrength(b *testing.B)        { benchExperiment(b, "E27") }
+func BenchmarkE28TRRSampling(b *testing.B)        { benchExperiment(b, "E28") }
+func BenchmarkE29RFRPhases(b *testing.B)          { benchExperiment(b, "E29") }

@@ -1,0 +1,42 @@
+// Command experiments regenerates the paper's tables and figures as
+// text series. With no arguments it runs every experiment; -run
+// selects one by ID; -list shows the index.
+//
+// Usage:
+//
+//	experiments [-seed N] [-run E4] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed (results are deterministic per seed)")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     anchor: %s\n", e.ID, e.Title, e.Anchor)
+		}
+		return
+	}
+	if *run != "" {
+		e, ok := exp.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run(*seed))
+		return
+	}
+	for _, e := range exp.All() {
+		fmt.Println(e.Run(*seed))
+	}
+}

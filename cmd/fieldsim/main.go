@@ -1,0 +1,58 @@
+// Command fieldsim runs the fleet-scale field-study simulation
+// (DSN'15-class): a year of correctable/uncorrectable error telemetry
+// across density generations, with the concentration statistics the
+// real studies report.
+//
+// Usage:
+//
+//	fieldsim [-months 12] [-seed N] [-dimms 16000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/fieldstudy"
+	"repro/internal/rng"
+)
+
+func main() {
+	months := flag.Int("months", 12, "service months to simulate")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	dimms := flag.Int("dimms", 16000, "total fleet size (split across generations)")
+	flag.Parse()
+
+	cfg := fieldstudy.DefaultConfig()
+	cfg.Months = *months
+	scale := float64(*dimms) / 16000
+	for i := range cfg.Classes {
+		cfg.Classes[i].DIMMs = int(float64(cfg.Classes[i].DIMMs) * scale)
+	}
+	res := fieldstudy.Run(cfg, rng.New(*seed))
+
+	fmt.Printf("fieldsim: %d DIMMs, %d months\n\n", *dimms, *months)
+	fmt.Printf("%-8s %-8s %-14s %-14s %-16s %-12s\n",
+		"density", "DIMMs", "CE/DIMM-mo", "DIMMs w/ CE", "top-1% CE share", "UE/1k DIMM-mo")
+	for _, c := range res.Classes {
+		fmt.Printf("%-8s %-8d %-14.4f %-14s %-16s %-12.2f\n",
+			c.Label, c.DIMMs, c.CEPerDIMMMonth,
+			fmt.Sprintf("%.1f%%", 100*c.FracDIMMsWithCE),
+			fmt.Sprintf("%.0f%%", 100*c.Top1PctShare),
+			c.UEPerThousandDIMMMonth)
+	}
+
+	// The worst offenders, as a repair-queue report.
+	sorted := append([]fieldstudy.DIMMRecord(nil), res.Records...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Correctable > sorted[j].Correctable
+	})
+	fmt.Println("\nworst 5 DIMMs (page-retirement candidates):")
+	for i := 0; i < 5 && i < len(sorted); i++ {
+		r := sorted[i]
+		fmt.Printf("  %-4s CE=%-6d UE=%d\n", r.Class, r.Correctable, r.Uncorrectable)
+	}
+	fmt.Println("\nfield-study signatures: rates grow with density generation;")
+	fmt.Println("errors concentrate in few DIMMs; UEs are rare but non-zero —")
+	fmt.Println("the Section III evidence that scaling is eroding reliability.")
+}

@@ -1,0 +1,102 @@
+// Command flashtest characterizes the simulated MLC NAND flash the
+// way the cited flash papers characterize real chips: RBER as a
+// function of P/E cycling, retention age, read disturb, and program
+// interference, with optional recovery mechanisms applied.
+//
+// Usage:
+//
+//	flashtest [-sweep pe|retention|reads|interference]
+//	          [-recover none|rfr|nac] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/rng"
+)
+
+func freshBlock(seed uint64, pe int, gamma float64) *flash.Block {
+	p := flash.DefaultParams()
+	if gamma > 0 {
+		p.Gamma = gamma
+	}
+	b := flash.NewBlock(p, 4, 2048, rng.New(seed))
+	b.CycleWear(pe)
+	b.Erase()
+	src := rng.New(seed ^ 0xff)
+	lsb := make([]uint64, 32)
+	msb := make([]uint64, 32)
+	for i := range lsb {
+		lsb[i] = src.Uint64()
+		msb[i] = src.Uint64()
+	}
+	b.ProgramFull(0, lsb, msb)
+	return b
+}
+
+func main() {
+	sweep := flag.String("sweep", "pe", "sweep axis: pe, retention, reads, interference")
+	recover := flag.String("recover", "none", "recovery to apply: none, rfr, nac")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	fmt.Printf("flashtest: sweep=%s recover=%s\n", *sweep, *recover)
+	fmt.Printf("%-12s %-12s %-12s\n", "x", "RBER", "post-recovery")
+
+	report := func(x string, b *flash.Block) {
+		rber := b.RBER(0)
+		post := ""
+		switch *recover {
+		case "rfr":
+			res := ftl.RunRFR(b, 0, ftl.DefaultECC(), ftl.DefaultRFRConfig())
+			post = fmt.Sprintf("%.3e", float64(res.ErrorsAfter)/float64(2*b.Cells))
+		case "nac":
+			res := ftl.RunNAC(b, 0, b.ParamsRef().Gamma)
+			post = fmt.Sprintf("%.3e", float64(res.ErrorsAfter)/float64(2*b.Cells))
+		case "none":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown recovery %q\n", *recover)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %-12.3e %-12s\n", x, rber, post)
+	}
+
+	switch *sweep {
+	case "pe":
+		for _, pe := range []int{0, 1000, 3000, 6000, 10000, 15000} {
+			b := freshBlock(*seed, pe, 0)
+			b.AdvanceHours(24 * 30)
+			report(fmt.Sprintf("%d", pe), b)
+		}
+	case "retention":
+		for _, days := range []int{0, 7, 30, 90, 365, 730} {
+			b := freshBlock(*seed, 6000, 0)
+			b.AdvanceHours(24 * float64(days))
+			report(fmt.Sprintf("%dd", days), b)
+		}
+	case "reads":
+		for _, reads := range []int64{0, 50000, 200000, 500000, 1000000} {
+			b := freshBlock(*seed, 4000, 0)
+			b.StressReads(reads)
+			report(fmt.Sprintf("%d", reads), b)
+		}
+	case "interference":
+		for _, gamma := range []float64{0.0, 0.02, 0.05, 0.08, 0.12} {
+			b := freshBlock(*seed, 6000, gamma)
+			zero := make([]uint64, 32)
+			ones := make([]uint64, 32)
+			for i := range ones {
+				ones[i] = ^uint64(0)
+			}
+			b.ProgramFull(1, zero, ones)
+			report(fmt.Sprintf("%.2f", gamma), b)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Package repro is a full simulation-based reproduction of Onur
+// Mutlu's DATE 2017 invited paper "The RowHammer Problem and Other
+// Issues We May Face as Memory Becomes Denser".
+//
+// The paper surveys how density scaling turned memory reliability into
+// a security problem: the RowHammer disturbance mechanism in DRAM, the
+// attacks built on it, the mitigation space (with PARA as the proposed
+// long-term fix), the retention-testing problem (data-pattern
+// dependence and variable retention time), the parallel error ecology
+// of MLC NAND flash (retention, read disturb, program interference,
+// the two-step programming exploit) and the controller mechanisms that
+// tame it, and the wear-attack exposure of emerging memories.
+//
+// Because every result in the paper was measured on real silicon we
+// cannot touch, this repository substitutes calibrated behavioural
+// models (see DESIGN.md for the substitution table) and rebuilds the
+// entire stack in Go:
+//
+//   - internal/dram, internal/disturb, internal/retention: the DRAM
+//     device and its two failure mechanisms
+//   - internal/memctrl: the memory controller with the pluggable
+//     mitigation registry (PARA, CRA, TRR, ANVIL, refresh scaling)
+//   - internal/ecc, internal/spd: SECDED(72,64) and the adjacency ROM
+//   - internal/modules: the 129-module population behind Figure 1
+//   - internal/attack: hammer kernels, templating, privilege
+//     escalation, cross-VM
+//   - internal/flash, internal/ftl: MLC NAND in the threshold-voltage
+//     domain plus FCR, RFR, NAC and read-disturb management
+//   - internal/pcm: Start-Gap wear leveling under write attack
+//   - internal/profile, internal/core, internal/exp: profiling,
+//     analysis, and the E1-E23 experiment registry
+//
+// This facade re-exports the handful of entry points downstream code
+// needs; everything else is importable within the module from the
+// internal packages directly.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/modules"
+	"repro/internal/stats"
+)
+
+// System is a fully wired simulated memory system.
+type System = core.System
+
+// Options configures Build.
+type Options = core.Options
+
+// Module is one synthetic DIMM from the study population.
+type Module = modules.Module
+
+// Build instantiates a module as a simulated system.
+func Build(m *Module, opt Options) *System { return core.Build(m, opt) }
+
+// Population returns the 129-module study population.
+func Population(seed uint64) []Module { return modules.Population(seed) }
+
+// Experiments lists the registered experiments (E1..E23).
+func Experiments() []exp.Experiment { return exp.All() }
+
+// RunExperiment executes one experiment by ID.
+func RunExperiment(id string, seed uint64) (*stats.Table, bool) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return nil, false
+	}
+	return e.Run(seed), true
+}

@@ -1,0 +1,152 @@
+package attack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBuddyAllocFreeRoundTrip(t *testing.T) {
+	a := NewBuddy(64)
+	if a.FreeFrames() != 64 {
+		t.Fatalf("fresh allocator has %d free frames", a.FreeFrames())
+	}
+	base, ok := a.Alloc(2) // 4 frames
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if a.FreeFrames() != 60 {
+		t.Fatalf("free frames = %d after order-2 alloc", a.FreeFrames())
+	}
+	a.Free(base)
+	if a.FreeFrames() != 64 {
+		t.Fatal("free did not restore frames")
+	}
+	// After full coalescing a single max-order block must exist again.
+	if b2, ok := a.Alloc(6); !ok || b2 != 0 {
+		t.Fatalf("coalescing failed: %d %v", b2, ok)
+	}
+}
+
+func TestBuddyNoOverlap(t *testing.T) {
+	a := NewBuddy(128)
+	src := rng.New(1)
+	owned := map[int]int{} // base -> order
+	inUse := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		if src.Bool(0.6) || len(owned) == 0 {
+			order := src.Intn(4)
+			base, ok := a.Alloc(order)
+			if !ok {
+				continue
+			}
+			for f := base; f < base+(1<<order); f++ {
+				if inUse[f] {
+					t.Fatalf("frame %d double-allocated", f)
+				}
+				inUse[f] = true
+			}
+			owned[base] = order
+		} else {
+			// Free a random owned block.
+			for base, order := range owned {
+				a.Free(base)
+				for f := base; f < base+(1<<order); f++ {
+					inUse[f] = false
+				}
+				delete(owned, base)
+				break
+			}
+		}
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	a := NewBuddy(16)
+	n := 0
+	for {
+		if _, ok := a.Alloc(0); !ok {
+			break
+		}
+		n++
+	}
+	if n != 16 {
+		t.Fatalf("allocated %d frames from a 16-frame pool", n)
+	}
+	if a.FreeFrames() != 0 {
+		t.Fatal("frames left after exhaustion")
+	}
+}
+
+func TestBuddyConservation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		a := NewBuddy(64)
+		src := rng.New(seed)
+		var bases []int
+		for i := 0; i < 40; i++ {
+			if b, ok := a.Alloc(src.Intn(3)); ok {
+				bases = append(bases, b)
+			}
+		}
+		for _, b := range bases {
+			a.Free(b)
+		}
+		return a.FreeFrames() == 64 && a.Live() == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyInvalidOps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two")
+		}
+	}()
+	NewBuddy(48)
+}
+
+func TestBuddyDoubleFreePanics(t *testing.T) {
+	a := NewBuddy(16)
+	b, _ := a.Alloc(0)
+	a.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	a.Free(b)
+}
+
+func TestDrammerPlacementDeterministic(t *testing.T) {
+	// Whatever the prior allocation state, the massaging sequence
+	// must land the next kernel allocation exactly on the target.
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		a := NewBuddy(256)
+		src := rng.New(seed)
+		// Unrelated background allocations.
+		for i := 0; i < 20; i++ {
+			a.Alloc(src.Intn(3))
+		}
+		target := 128 + src.Intn(64) // a frame in the untouched upper half
+		frame, ok := DrammerPlacement(a, target, 4)
+		if !ok {
+			t.Fatalf("seed %d: placement failed for target %d (got %d)", seed, target, frame)
+		}
+		if frame != target {
+			t.Fatalf("seed %d: placed at %d, want %d", seed, frame, target)
+		}
+	}
+}
+
+func TestDrammerPlacementFailsOnOccupiedTarget(t *testing.T) {
+	a := NewBuddy(64)
+	// Occupy the low region including the target.
+	for i := 0; i < 8; i++ {
+		a.Alloc(0)
+	}
+	if _, ok := DrammerPlacement(a, 3, 3); ok {
+		t.Fatal("placement claimed success on an already-allocated target")
+	}
+}

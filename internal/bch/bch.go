@@ -1,0 +1,292 @@
+// Package bch implements binary BCH codes — the error-correcting
+// codes real MLC-era flash controllers use, and the "stronger ECC"
+// the paper says DRAM would need against multi-bit RowHammer flips.
+// It is a complete codec, not a capability model: generator
+// construction from cyclotomic cosets, systematic LFSR encoding,
+// syndrome computation, Berlekamp–Massey error-locator synthesis and
+// Chien search, over GF(2^m) for 3 <= m <= 13.
+//
+// The higher-level packages keep using the fast capability model
+// (internal/ftl.ECC) in their inner loops; this package exists to
+// ground that model: TestCapabilityModelAgrees verifies that the real
+// decoder corrects exactly the patterns the model says a t-corrector
+// corrects.
+package bch
+
+import (
+	"fmt"
+)
+
+// primitive polynomials for GF(2^m), m=3..13, in bitmask form
+// (x^m term included).
+var primitivePoly = map[int]uint{
+	3:  0b1011,
+	4:  0b10011,
+	5:  0b100101,
+	6:  0b1000011,
+	7:  0b10001001,
+	8:  0b100011101,
+	9:  0b1000010001,
+	10: 0b10000001001,
+	11: 0b100000000101,
+	12: 0b1000001010011,
+	13: 0b10000000011011,
+}
+
+// field is GF(2^m) with log/antilog tables.
+type field struct {
+	m    int
+	n    int // 2^m - 1
+	exp  []uint16
+	logT []int
+}
+
+func newField(m int) (*field, error) {
+	poly, ok := primitivePoly[m]
+	if !ok {
+		return nil, fmt.Errorf("bch: unsupported field GF(2^%d)", m)
+	}
+	n := (1 << m) - 1
+	f := &field{m: m, n: n, exp: make([]uint16, 2*n), logT: make([]int, n+1)}
+	x := uint(1)
+	for i := 0; i < n; i++ {
+		f.exp[i] = uint16(x)
+		f.logT[x] = i
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= poly
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		f.exp[i] = f.exp[i-n]
+	}
+	return f, nil
+}
+
+// mul multiplies two field elements.
+func (f *field) mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.logT[a]+f.logT[b]]
+}
+
+// inv returns the multiplicative inverse.
+func (f *field) inv(a uint16) uint16 {
+	if a == 0 {
+		panic("bch: inverse of zero")
+	}
+	return f.exp[f.n-f.logT[a]]
+}
+
+// pow returns alpha^e for the primitive element alpha.
+func (f *field) alphaPow(e int) uint16 {
+	e %= f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}
+
+// Code is a binary BCH code of length N = 2^m - 1 correcting T errors.
+type Code struct {
+	M, N, K, T int
+
+	f *field
+	// g is the generator polynomial as a GF(2) coefficient slice,
+	// g[0] is the constant term; len(g) = N-K+1.
+	g []uint8
+}
+
+// New constructs the BCH code over GF(2^m) with designed correction
+// capability t. It returns an error if the parameters are unsupported
+// or the code would have no data bits.
+func New(m, t int) (*Code, error) {
+	f, err := newField(m)
+	if err != nil {
+		return nil, err
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("bch: t must be >= 1")
+	}
+	if 2*t >= f.n {
+		return nil, fmt.Errorf("bch: designed distance 2t+1=%d exceeds length %d", 2*t+1, f.n)
+	}
+	// Collect the union of cyclotomic cosets of 1..2t.
+	inCoset := map[int]bool{}
+	var cosets [][]int
+	for i := 1; i <= 2*t; i++ {
+		if inCoset[i] {
+			continue
+		}
+		var coset []int
+		j := i
+		for !inCoset[j] {
+			inCoset[j] = true
+			coset = append(coset, j)
+			j = (j * 2) % f.n
+		}
+		cosets = append(cosets, coset)
+	}
+	// g(x) = product of minimal polynomials; build each minimal
+	// polynomial over GF(2^m) as prod (x - alpha^j) — its
+	// coefficients land in GF(2).
+	g := []uint16{1}
+	for _, coset := range cosets {
+		mp := []uint16{1}
+		for _, j := range coset {
+			root := f.alphaPow(j)
+			next := make([]uint16, len(mp)+1)
+			for d, c := range mp {
+				next[d+1] ^= c            // x * c x^d
+				next[d] ^= f.mul(c, root) // root * c x^d
+			}
+			mp = next
+		}
+		next := make([]uint16, len(g)+len(mp)-1)
+		for a, ca := range g {
+			if ca == 0 {
+				continue
+			}
+			for b, cb := range mp {
+				next[a+b] ^= f.mul(ca, cb)
+			}
+		}
+		g = next
+	}
+	gb := make([]uint8, len(g))
+	for i, c := range g {
+		if c > 1 {
+			return nil, fmt.Errorf("bch: generator coefficient not binary (bug)")
+		}
+		gb[i] = uint8(c)
+	}
+	k := f.n - (len(gb) - 1)
+	if k <= 0 {
+		return nil, fmt.Errorf("bch: no data bits at m=%d t=%d", m, t)
+	}
+	return &Code{M: m, N: f.n, K: k, T: t, f: f, g: gb}, nil
+}
+
+// Encode systematically encodes K data bits (one bit per element)
+// into an N-bit codeword: data in the high positions, parity in the
+// low N-K positions.
+func (c *Code) Encode(data []uint8) []uint8 {
+	if len(data) != c.K {
+		panic(fmt.Sprintf("bch: data length %d, want K=%d", len(data), c.K))
+	}
+	nk := c.N - c.K
+	cw := make([]uint8, c.N)
+	copy(cw[nk:], data)
+	// Polynomial division: remainder of x^(n-k) d(x) by g(x), via an
+	// LFSR processing data bits from the highest degree down.
+	reg := make([]uint8, nk)
+	for i := c.K - 1; i >= 0; i-- {
+		fb := data[i] ^ reg[nk-1]
+		copy(reg[1:], reg[:nk-1])
+		reg[0] = 0
+		if fb == 1 {
+			for j := 0; j < nk; j++ {
+				reg[j] ^= c.g[j]
+			}
+		}
+	}
+	copy(cw[:nk], reg)
+	return cw
+}
+
+// Decode corrects up to T errors in place and returns the number of
+// corrected bits. ok is false when the decoder detects an
+// uncorrectable pattern (syndromes inconsistent with <= T errors); in
+// that case the received word is left unmodified.
+func (c *Code) Decode(recv []uint8) (nErr int, ok bool) {
+	if len(recv) != c.N {
+		panic(fmt.Sprintf("bch: received length %d, want N=%d", len(recv), c.N))
+	}
+	// Syndromes S_j = r(alpha^j), j = 1..2T.
+	synd := make([]uint16, 2*c.T)
+	allZero := true
+	for j := 1; j <= 2*c.T; j++ {
+		var s uint16
+		for i := 0; i < c.N; i++ {
+			if recv[i] == 1 {
+				s ^= c.f.alphaPow(i * j)
+			}
+		}
+		synd[j-1] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return 0, true
+	}
+	// Berlekamp–Massey: synthesize the error locator sigma(x).
+	sigma := []uint16{1}
+	b := []uint16{1}
+	l, m := 0, 1
+	var bCoef uint16 = 1
+	for n := 0; n < 2*c.T; n++ {
+		var d uint16
+		for i := 0; i <= l; i++ {
+			if i < len(sigma) {
+				d ^= c.f.mul(sigma[i], synd[n-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		t := append([]uint16(nil), sigma...)
+		coef := c.f.mul(d, c.f.inv(bCoef))
+		// sigma = sigma - coef * x^m * b
+		for len(sigma) < len(b)+m {
+			sigma = append(sigma, 0)
+		}
+		for i, bc := range b {
+			sigma[i+m] ^= c.f.mul(coef, bc)
+		}
+		if 2*l <= n {
+			l = n + 1 - l
+			b = t
+			bCoef = d
+			m = 1
+		} else {
+			m++
+		}
+	}
+	// Trim trailing zeros.
+	deg := len(sigma) - 1
+	for deg > 0 && sigma[deg] == 0 {
+		deg--
+	}
+	sigma = sigma[:deg+1]
+	if deg > c.T {
+		return 0, false
+	}
+	// Chien search: find i with sigma(alpha^{-i}) == 0.
+	var positions []int
+	for i := 0; i < c.N; i++ {
+		var v uint16
+		for d, coef := range sigma {
+			if coef != 0 {
+				v ^= c.f.mul(coef, c.f.alphaPow(-i*d))
+			}
+		}
+		if v == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != deg {
+		return 0, false // locator roots don't match degree: uncorrectable
+	}
+	for _, p := range positions {
+		recv[p] ^= 1
+	}
+	return len(positions), true
+}
+
+// Data extracts the K data bits from a codeword.
+func (c *Code) Data(cw []uint8) []uint8 {
+	return append([]uint8(nil), cw[c.N-c.K:]...)
+}

@@ -1,0 +1,236 @@
+package bch
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mustCode(t *testing.T, m, tt int) *Code {
+	t.Helper()
+	c, err := New(m, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomData(src *rng.Stream, k int) []uint8 {
+	d := make([]uint8, k)
+	for i := range d {
+		d[i] = uint8(src.Uint64() & 1)
+	}
+	return d
+}
+
+func TestKnownParameters(t *testing.T) {
+	// Classic BCH parameter points.
+	cases := []struct{ m, t, n, k int }{
+		{4, 1, 15, 11},
+		{4, 2, 15, 7},
+		{4, 3, 15, 5},
+		{5, 1, 31, 26},
+		{5, 2, 31, 21},
+		{5, 3, 31, 16},
+		{8, 1, 255, 247},
+		{8, 2, 255, 239},
+	}
+	for _, c := range cases {
+		code := mustCode(t, c.m, c.t)
+		if code.N != c.n || code.K != c.k {
+			t.Errorf("BCH(m=%d,t=%d): got (n=%d,k=%d), want (%d,%d)",
+				c.m, c.t, code.N, code.K, c.n, c.k)
+		}
+	}
+}
+
+func TestUnsupportedParameters(t *testing.T) {
+	if _, err := New(2, 1); err == nil {
+		t.Error("m=2 accepted")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(4, 8); err == nil {
+		t.Error("2t >= n accepted")
+	}
+	// t=7 at m=4 is the k=1 repetition code: legal, tiny.
+	if c, err := New(4, 7); err != nil || c.K != 1 {
+		t.Errorf("BCH(15, t=7) should be the k=1 code, got %+v err=%v", c, err)
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	code := mustCode(t, 8, 4)
+	src := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		data := randomData(src, code.K)
+		cw := code.Encode(data)
+		n, ok := code.Decode(cw)
+		if !ok || n != 0 {
+			t.Fatalf("clean codeword decoded with n=%d ok=%v", n, ok)
+		}
+		got := code.Data(cw)
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatal("systematic data extraction mismatch")
+			}
+		}
+	}
+}
+
+func TestCorrectsUpToT(t *testing.T) {
+	for _, tt := range []int{1, 2, 4, 8} {
+		code := mustCode(t, 9, tt)
+		src := rng.New(uint64(tt))
+		for trial := 0; trial < 25; trial++ {
+			data := randomData(src, code.K)
+			cw := code.Encode(data)
+			// Inject exactly e distinct errors for every e <= t.
+			for e := 1; e <= tt; e++ {
+				corrupted := append([]uint8(nil), cw...)
+				for _, p := range src.Perm(code.N)[:e] {
+					corrupted[p] ^= 1
+				}
+				n, ok := code.Decode(corrupted)
+				if !ok {
+					t.Fatalf("t=%d: %d errors not corrected", tt, e)
+				}
+				if n != e {
+					t.Fatalf("t=%d: corrected %d, injected %d", tt, n, e)
+				}
+				for i := range cw {
+					if corrupted[i] != cw[i] {
+						t.Fatalf("t=%d: decode left residual error at %d", tt, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDetectsBeyondT(t *testing.T) {
+	code := mustCode(t, 8, 3)
+	src := rng.New(7)
+	detected, silent := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		data := randomData(src, code.K)
+		cw := code.Encode(data)
+		corrupted := append([]uint8(nil), cw...)
+		for _, p := range src.Perm(code.N)[:code.T+1] { // t+1 errors
+			corrupted[p] ^= 1
+		}
+		saved := append([]uint8(nil), corrupted...)
+		n, ok := code.Decode(corrupted)
+		if !ok {
+			detected++
+			for i := range saved {
+				if corrupted[i] != saved[i] {
+					t.Fatal("failed decode modified the received word")
+				}
+			}
+			continue
+		}
+		// The decoder "succeeded": it either miscorrected to a
+		// different codeword (silent) — allowed by bounded-distance
+		// decoding — or cannot have produced the original.
+		_ = n
+		same := true
+		for i := range cw {
+			if corrupted[i] != cw[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("t+1 errors silently vanished into the original codeword")
+		}
+		silent++
+	}
+	if detected == 0 {
+		t.Fatal("no t+1 pattern was flagged uncorrectable; decoder too permissive")
+	}
+	t.Logf("t+1 error patterns: %d detected, %d miscorrected (both legal)", detected, silent)
+}
+
+func TestCapabilityModelAgrees(t *testing.T) {
+	// The fast capability model used by internal/ftl says: a
+	// t-corrector fixes any pattern of <= t errors and none of t+1 in
+	// the guaranteed sense. Verify the real decoder delivers the first
+	// half exactly.
+	code := mustCode(t, 10, 6)
+	src := rng.New(11)
+	data := randomData(src, code.K)
+	cw := code.Encode(data)
+	for e := 0; e <= code.T; e++ {
+		corrupted := append([]uint8(nil), cw...)
+		for _, p := range src.Perm(code.N)[:e] {
+			corrupted[p] ^= 1
+		}
+		if _, ok := code.Decode(corrupted); !ok {
+			t.Fatalf("capability model violated: %d <= t errors uncorrected", e)
+		}
+	}
+}
+
+func TestBurstErrors(t *testing.T) {
+	// BCH is random-error-correcting; a burst of length <= t is just t
+	// adjacent errors and must correct.
+	code := mustCode(t, 8, 5)
+	src := rng.New(13)
+	data := randomData(src, code.K)
+	cw := code.Encode(data)
+	corrupted := append([]uint8(nil), cw...)
+	start := 100
+	for i := 0; i < 5; i++ {
+		corrupted[start+i] ^= 1
+	}
+	n, ok := code.Decode(corrupted)
+	if !ok || n != 5 {
+		t.Fatalf("burst of 5 not corrected: n=%d ok=%v", n, ok)
+	}
+}
+
+func TestGeneratorDividesCodewords(t *testing.T) {
+	// Structural property: every codeword polynomial is divisible by
+	// g(x); equivalently every codeword has zero syndromes.
+	code := mustCode(t, 6, 2)
+	src := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		cw := code.Encode(randomData(src, code.K))
+		if n, ok := code.Decode(append([]uint8(nil), cw...)); !ok || n != 0 {
+			t.Fatal("valid codeword has nonzero syndrome")
+		}
+	}
+}
+
+func TestAllSingleErrorPositions(t *testing.T) {
+	// Exhaustive single-error sweep on a small code.
+	code := mustCode(t, 5, 2)
+	src := rng.New(19)
+	data := randomData(src, code.K)
+	cw := code.Encode(data)
+	for p := 0; p < code.N; p++ {
+		corrupted := append([]uint8(nil), cw...)
+		corrupted[p] ^= 1
+		n, ok := code.Decode(corrupted)
+		if !ok || n != 1 {
+			t.Fatalf("single error at %d not corrected", p)
+		}
+	}
+}
+
+func BenchmarkDecodeT4(b *testing.B) {
+	code, _ := New(10, 4)
+	src := rng.New(1)
+	data := randomData(src, code.K)
+	cw := code.Encode(data)
+	cw[5] ^= 1
+	cw[100] ^= 1
+	cw[500] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := append([]uint8(nil), cw...)
+		code.Decode(tmp)
+	}
+}

@@ -1,0 +1,179 @@
+// Package core ties the substrates into the framework the experiments
+// and examples program against: a System couples a module's physics to
+// a device, controller and mitigations; the analysis functions provide
+// the closed-form reliability math of the ISCA 2014 paper that the
+// DATE 2017 overview summarizes (PARA failure probabilities, the
+// refresh-rate elimination multiplier, MTTF conversions).
+package core
+
+import (
+	"math"
+
+	"repro/internal/disturb"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/modules"
+	"repro/internal/retention"
+	"repro/internal/rng"
+	"repro/internal/spd"
+)
+
+// Options configures how a module is instantiated as a system.
+type Options struct {
+	// Geom is the simulated device geometry (smaller than the real
+	// module; physics scale by cell count).
+	Geom dram.Geometry
+	// RefreshMultiplier scales the refresh rate (the paper's
+	// "immediate solution"). Zero means nominal.
+	RefreshMultiplier float64
+	// RemapFraction is the fraction of internally remapped rows.
+	RemapFraction float64
+	// DisableRefresh turns off auto refresh (retention experiments).
+	DisableRefresh bool
+}
+
+// DefaultGeom is the workhorse geometry of the experiments: one bank,
+// 2048 rows of 1 KiB.
+func DefaultGeom() dram.Geometry {
+	return dram.Geometry{Banks: 1, Rows: 2048, Cols: 16}
+}
+
+// System is one instantiated memory system.
+type System struct {
+	Module    *modules.Module
+	Device    *dram.Device
+	Ctrl      *memctrl.Controller
+	Disturb   *disturb.Model
+	Retention *retention.Model
+}
+
+// Build instantiates a module as a simulated system.
+func Build(m *modules.Module, opt Options) *System {
+	if opt.Geom.Banks == 0 {
+		opt.Geom = DefaultGeom()
+	}
+	dev, dm, rm := m.Device(opt.Geom, opt.RemapFraction)
+	ctrl := memctrl.New(dev, memctrl.Config{
+		RefreshMultiplier: opt.RefreshMultiplier,
+		DisableRefresh:    opt.DisableRefresh,
+	})
+	return &System{Module: m, Device: dev, Ctrl: ctrl, Disturb: dm, Retention: rm}
+}
+
+// AttachPARA attaches PARA in the given placement, wiring the SPD
+// adjacency oracle automatically for the controller+SPD placement.
+func (s *System) AttachPARA(p float64, where memctrl.Placement, src *rng.Stream) *memctrl.PARA {
+	var oracle *spd.AdjacencyOracle
+	if where == memctrl.InControllerWithSPD {
+		rt, err := spd.Decode(spd.Encode(s.Device.Remap()))
+		if err != nil {
+			panic(err) // encoding our own table cannot fail
+		}
+		oracle = spd.NewOracle(rt)
+	}
+	para := memctrl.NewPARA(p, where, oracle, src)
+	s.Ctrl.Attach(para)
+	return para
+}
+
+// --- Closed-form reliability analysis (ISCA 2014 Section 8) ---
+
+// PARAFailureProbability returns the probability that one hammer
+// "attempt" defeats PARA: the victim's threshold-many adjacent
+// activations all fail to trigger a neighbour refresh on the relevant
+// side. p is PARA's total probability, threshold the victim cell's
+// hammer threshold.
+func PARAFailureProbability(p float64, threshold float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 2 {
+		return 0
+	}
+	// Each activation refreshes the victim's side with probability
+	// p/2; the attempt succeeds only if all `threshold` activations
+	// miss. Work in log space: the result underflows float64 for
+	// realistic parameters, which is exactly the paper's point.
+	return math.Exp(float64(threshold) * math.Log1p(-p/2))
+}
+
+// PARAExpectedYearsToFailure converts the per-attempt failure
+// probability into an expected time to first failure under continuous
+// maximum-rate hammering. actRate is aggressor activations per second,
+// threshold the victim's hammer threshold.
+func PARAExpectedYearsToFailure(p, threshold, actRate float64) float64 {
+	q := PARAFailureProbability(p, threshold)
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	attemptsPerSec := actRate / threshold
+	mttfSec := 1 / (q * attemptsPerSec)
+	return mttfSec / (365.25 * 24 * 3600)
+}
+
+// HardDiskMTTFYears is the reference MTTF the paper compares PARA
+// against ("much higher reliability guarantees than modern hard disks
+// today"): on the order of a century.
+const HardDiskMTTFYears = 114 // 1e6 hours
+
+// RefreshEliminationMultiplier returns the refresh-rate multiplier
+// needed so the maximum per-window hammer count falls below the
+// threshold: the paper's 7x claim computed from first principles.
+func RefreshEliminationMultiplier(maxHammerPerWindow, minThreshold float64) float64 {
+	if minThreshold <= 0 || math.IsInf(minThreshold, 1) {
+		return 1
+	}
+	m := maxHammerPerWindow / minThreshold
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// RefreshBurden quantifies the cost of refreshing a device of the
+// given row count per bank: the fraction of time a bank is unavailable
+// (tRFC per tREFI) and the refresh energy per second.
+type RefreshBurden struct {
+	// RowsPerBank of the device (scales with density).
+	RowsPerBank int
+	// ThroughputLossFrac is the time fraction consumed by refresh.
+	ThroughputLossFrac float64
+	// RefreshPowerW is the average refresh power in watts.
+	RefreshPowerW float64
+}
+
+// ComputeRefreshBurden evaluates the refresh cost for a device of the
+// given rows per bank and banks, under a refresh-rate multiplier. tRFC
+// grows with rows per REF group, which is how density hurts: more rows
+// must be refreshed within the same window.
+func ComputeRefreshBurden(timing dram.Timing, energy dram.Energy, banks, rowsPerBank int, multiplier float64) RefreshBurden {
+	rowsPerREF := float64(rowsPerBank) / 8192
+	if rowsPerREF < 1 {
+		rowsPerREF = 1
+	}
+	// tRFC scales with the rows refreshed per command; anchor the
+	// default tRFC at a 32k-row (4 rows/REF) part.
+	tRFC := float64(timing.TRFC) * rowsPerREF / 4
+	tREFI := float64(timing.TREFI) / multiplier
+	lossFrac := tRFC / tREFI
+	if lossFrac > 1 {
+		lossFrac = 1
+	}
+	refreshesPerSec := float64(dram.Second) / tREFI
+	rowsPerSec := refreshesPerSec * rowsPerREF * float64(banks)
+	return RefreshBurden{
+		RowsPerBank:        rowsPerBank,
+		ThroughputLossFrac: lossFrac,
+		RefreshPowerW:      rowsPerSec * energy.REFPerRow * 1e-12,
+	}
+}
+
+// FITFromMTTFYears converts mean time to failure in years to FIT
+// (failures per billion device hours).
+func FITFromMTTFYears(years float64) float64 {
+	if math.IsInf(years, 1) {
+		return 0
+	}
+	hours := years * 365.25 * 24
+	return 1e9 / hours
+}

@@ -1,0 +1,309 @@
+// Package disturb implements the RowHammer disturbance fault model:
+// repeatedly activating a DRAM row accelerates charge leakage in cells
+// of physically adjacent rows, and cells whose cumulative "disturbance
+// pressure" within a refresh epoch exceeds their individual threshold
+// flip to their discharged value.
+//
+// The model reproduces the experimentally observed properties that the
+// paper's analysis (and every mitigation it discusses) depends on:
+//
+//   - Sparse, module-dependent weak cells: only a small fraction of
+//     cells are disturbable, with per-cell activation thresholds drawn
+//     from a heavy-tailed (lognormal) distribution whose parameters
+//     depend on the module's manufacturing year and vendor.
+//   - Adjacency: victims lie at physical distance 1 from the aggressor
+//     row for the vast majority of errors, distance 2 for a small rest.
+//   - Asymmetric coupling per side, making double-sided hammering
+//     roughly twice as effective as single-sided.
+//   - Direction: a "true-cell" stores 1 as charge and flips 1→0, an
+//     "anti-cell" stores 0 as charge and flips 0→1.
+//   - Data-pattern dependence: coupling is strongest when the
+//     aggressor's bit in the same column holds the opposite of the
+//     victim's charged value.
+//   - Repeatability: the same cells flip at the same thresholds; a
+//     flipped cell does not re-flip until its row's charge has been
+//     restored (activation or refresh of the victim row).
+//   - Refresh resets: restoring a victim row's charge zeroes the
+//     accumulated pressure on its cells.
+package disturb
+
+import (
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/rng"
+)
+
+// Params calibrates the vulnerability of one device. Thresholds are in
+// units of aggressor activations within one victim refresh epoch.
+type Params struct {
+	// WeakCellFraction is the fraction of all cells that are
+	// disturbable at any practically reachable activation count.
+	// Zero models an invulnerable (e.g. pre-2010) module.
+	WeakCellFraction float64
+	// ThresholdMedian and ThresholdSigma parameterize the lognormal
+	// distribution of per-cell hammer thresholds.
+	ThresholdMedian float64
+	ThresholdSigma  float64
+	// MinThreshold floors sampled thresholds, modelling the observed
+	// minimum activation count to the first error (~139K on the most
+	// vulnerable modules tested in the ISCA 2014 study).
+	MinThreshold float64
+	// Dist2Fraction is the fraction of weak cells whose aggressor sits
+	// at physical distance 2 instead of 1.
+	Dist2Fraction float64
+	// DPDFactor scales coupling when the aggressor's bit equals the
+	// victim's charged value (same-charge columns disturb less).
+	// Values <= 0 or >= 1 disable data-pattern dependence.
+	DPDFactor float64
+	// SecondSideMin/Max bound the uniformly sampled coupling weight of
+	// the weak cell's non-dominant side (the dominant side has weight
+	// 1). Double-sided hammering therefore accumulates pressure
+	// 1+secondSide times faster than single-sided.
+	SecondSideMin, SecondSideMax float64
+}
+
+// DefaultParams returns the vulnerability of a highly vulnerable
+// 2012-2013-class module.
+func DefaultParams() Params {
+	return Params{
+		WeakCellFraction: 1e-4,
+		ThresholdMedian:  450e3,
+		ThresholdSigma:   0.45,
+		MinThreshold:     139e3,
+		Dist2Fraction:    0.08,
+		DPDFactor:        0.25,
+		SecondSideMin:    0.3,
+		SecondSideMax:    1.0,
+	}
+}
+
+// Invulnerable returns parameters with no weak cells (pre-2010 module).
+func Invulnerable() Params { return Params{} }
+
+type weakCell struct {
+	bank, physRow, bit int
+	threshold          float64
+	// upWeight couples activations of physRow-dist, downWeight of
+	// physRow+dist.
+	dist                 int
+	upWeight, downWeight float64
+	chargedVal           uint64 // 1 for true-cell, 0 for anti-cell
+	pressure             float64
+	flipped              bool // flipped during the current epoch
+}
+
+type influence struct {
+	cell   *weakCell
+	weight float64
+}
+
+// Model is a dram.FaultModel implementing RowHammer disturbance.
+type Model struct {
+	params Params
+	geom   dram.Geometry
+	cells  []*weakCell
+	// byVictimRow indexes weak cells by (bank, victim physical row)
+	// for restore resets; byAggressor indexes influences by (bank,
+	// aggressor physical row) for pressure accumulation.
+	byVictimRow  map[[2]int][]*weakCell
+	byAggressor  map[[2]int][]influence
+	totalFlips   int64
+	epochFlips   int64
+	minThreshold float64
+}
+
+var _ dram.FaultModel = (*Model)(nil)
+
+// NewModel samples the weak-cell population for a device of the given
+// geometry. The expected number of weak cells is
+// WeakCellFraction * TotalCells; the actual count is binomially
+// sampled. Construction is deterministic given the stream.
+func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
+	m := &Model{
+		params:       p,
+		geom:         geom,
+		byVictimRow:  map[[2]int][]*weakCell{},
+		byAggressor:  map[[2]int][]influence{},
+		minThreshold: math.Inf(1),
+	}
+	if p.WeakCellFraction <= 0 {
+		return m
+	}
+	n := src.Binomial(geom.TotalCells(), p.WeakCellFraction)
+	bitsPerRow := geom.BitsPerRow()
+	seen := make(map[[3]int]bool, n)
+	for i := int64(0); i < n; i++ {
+		wc := &weakCell{
+			bank:      src.Intn(geom.Banks),
+			physRow:   src.Intn(geom.Rows),
+			bit:       src.Intn(bitsPerRow),
+			threshold: math.Max(p.MinThreshold, src.LogNormal(math.Log(p.ThresholdMedian), p.ThresholdSigma)),
+			dist:      1,
+		}
+		pos := [3]int{wc.bank, wc.physRow, wc.bit}
+		if seen[pos] {
+			continue // a cell has one set of physics; drop duplicates
+		}
+		seen[pos] = true
+		if src.Bool(p.Dist2Fraction) {
+			wc.dist = 2
+		}
+		if src.Bool(0.5) {
+			wc.chargedVal = 1
+		}
+		second := p.SecondSideMin + src.Float64()*(p.SecondSideMax-p.SecondSideMin)
+		if src.Bool(0.5) {
+			wc.upWeight, wc.downWeight = 1, second
+		} else {
+			wc.upWeight, wc.downWeight = second, 1
+		}
+		m.addCell(wc)
+		if wc.threshold < m.minThreshold {
+			m.minThreshold = wc.threshold
+		}
+	}
+	return m
+}
+
+func (m *Model) addCell(wc *weakCell) {
+	m.cells = append(m.cells, wc)
+	vKey := [2]int{wc.bank, wc.physRow}
+	m.byVictimRow[vKey] = append(m.byVictimRow[vKey], wc)
+	up := wc.physRow - wc.dist
+	down := wc.physRow + wc.dist
+	if up >= 0 {
+		k := [2]int{wc.bank, up}
+		m.byAggressor[k] = append(m.byAggressor[k], influence{wc, wc.upWeight})
+	}
+	if down < m.geom.Rows {
+		k := [2]int{wc.bank, down}
+		m.byAggressor[k] = append(m.byAggressor[k], influence{wc, wc.downWeight})
+	}
+}
+
+// Name implements dram.FaultModel.
+func (m *Model) Name() string { return "rowhammer" }
+
+// OnActivate implements dram.FaultModel: activating a row restores its
+// own charge (resetting pressure on its weak cells) and disturbs weak
+// cells coupled to it in neighbouring rows.
+func (m *Model) OnActivate(d *dram.Device, bank, physRow int, now dram.Time) {
+	m.restoreRow(bank, physRow)
+	for _, inf := range m.byAggressor[[2]int{bank, physRow}] {
+		wc := inf.cell
+		if wc.flipped {
+			continue
+		}
+		w := inf.weight
+		if m.params.DPDFactor > 0 && m.params.DPDFactor < 1 {
+			// Data-pattern dependence: coupling is reduced when the
+			// aggressor's bit in the victim's column matches the
+			// victim's charged value.
+			aggBit := d.PhysBit(bank, physRow, wc.bit)
+			if aggBit == wc.chargedVal {
+				w *= m.params.DPDFactor
+			}
+		}
+		wc.pressure += w
+		if wc.pressure >= wc.threshold {
+			// The victim cell discharges. Only observable if it
+			// currently holds its charged value.
+			if d.PhysBit(wc.bank, wc.physRow, wc.bit) == wc.chargedVal {
+				d.SetPhysBit(wc.bank, wc.physRow, wc.bit, 1-wc.chargedVal)
+				m.totalFlips++
+				m.epochFlips++
+			}
+			wc.flipped = true
+		}
+	}
+}
+
+// OnRefresh implements dram.FaultModel: refreshing a row restores its
+// charge and re-arms its weak cells.
+func (m *Model) OnRefresh(d *dram.Device, bank, physRow int, now dram.Time) {
+	m.restoreRow(bank, physRow)
+}
+
+func (m *Model) restoreRow(bank, physRow int) {
+	for _, wc := range m.byVictimRow[[2]int{bank, physRow}] {
+		wc.pressure = 0
+		wc.flipped = false
+	}
+}
+
+// InjectWeakCell adds a weak cell with explicit parameters. It is the
+// instrumentation path experiments use to place victims at known
+// physical locations (e.g. inside internally remapped regions for the
+// PARA-placement experiment). dist is the aggressor distance (1 or 2);
+// upWeight/downWeight are the coupling weights of the rows above and
+// below the victim.
+func (m *Model) InjectWeakCell(bank, physRow, bit int, threshold float64, chargedVal uint64, dist int, upWeight, downWeight float64) {
+	wc := &weakCell{
+		bank: bank, physRow: physRow, bit: bit,
+		threshold: threshold, chargedVal: chargedVal & 1,
+		dist: dist, upWeight: upWeight, downWeight: downWeight,
+	}
+	m.addCell(wc)
+	if wc.threshold < m.minThreshold {
+		m.minThreshold = wc.threshold
+	}
+}
+
+// WeakCellCount returns the number of disturbable cells sampled.
+func (m *Model) WeakCellCount() int { return len(m.cells) }
+
+// TotalFlips returns the number of disturbance flips applied since
+// construction (or the last ResetCounters).
+func (m *Model) TotalFlips() int64 { return m.totalFlips }
+
+// ResetCounters zeroes the flip counters without touching cell state.
+func (m *Model) ResetCounters() { m.totalFlips, m.epochFlips = 0, 0 }
+
+// MinThreshold returns the smallest sampled cell threshold, i.e. the
+// minimum single-sided activation count that can flip any bit on this
+// device, or +Inf if the device has no weak cells.
+func (m *Model) MinThreshold() float64 { return m.minThreshold }
+
+// VictimRows returns the distinct (bank, physical row) pairs that
+// contain weak cells, for test instrumentation.
+func (m *Model) VictimRows() [][2]int {
+	out := make([][2]int, 0, len(m.byVictimRow))
+	for k := range m.byVictimRow {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CellsInRow returns the number of weak cells in a victim row.
+func (m *Model) CellsInRow(bank, physRow int) int {
+	return len(m.byVictimRow[[2]int{bank, physRow}])
+}
+
+// FractionFlippableAt returns the expected fraction of ALL cells that
+// flip when every row is hammered hammerCount times per refresh epoch
+// (double-sided, worst-case data pattern). This is the analytic form
+// used for fleet-scale experiments (e.g. the 129-module Figure 1
+// population) where instantiating 10^9 cells is pointless: the error
+// rate equals WeakCellFraction times the lognormal CDF at the
+// effective threshold.
+func (p Params) FractionFlippableAt(hammerCount float64) float64 {
+	if p.WeakCellFraction <= 0 || hammerCount <= 0 {
+		return 0
+	}
+	// Double-sided hammering accumulates pressure at rate
+	// 1 + E[secondSide] per aggressor activation pair.
+	eff := hammerCount * (1 + (p.SecondSideMin+p.SecondSideMax)/2)
+	if eff < p.MinThreshold {
+		return 0
+	}
+	return p.WeakCellFraction * logNormalCDF(eff, math.Log(p.ThresholdMedian), p.ThresholdSigma)
+}
+
+// logNormalCDF evaluates the lognormal CDF at x.
+func logNormalCDF(x, mu, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-mu)/(sigma*math.Sqrt2)))
+}

@@ -1,0 +1,372 @@
+// Package dram models a DRAM device at the granularity the RowHammer
+// and retention studies need: banks of rows of real data bits, an
+// activate/precharge/read/write/refresh command interface, DDR3-class
+// timing and energy parameters for cost accounting, internal row
+// remapping (post-manufacturing repair), and a fault-model hook
+// interface through which the disturbance (RowHammer) and retention
+// models corrupt cell contents exactly when a real chip would.
+//
+// The device is a behavioural model, not a cycle-accurate one: it
+// enforces command legality (you cannot read a closed bank) and
+// exposes timing/energy constants that the memory controller uses for
+// latency and energy accounting, but it does not pipeline commands.
+// That is sufficient for every experiment in the paper, all of which
+// depend on which cells flip and when, not on bus scheduling detail.
+package dram
+
+import "fmt"
+
+// Time is simulated time in nanoseconds since system start.
+type Time uint64
+
+const (
+	// Nanosecond is the base unit of simulated Time.
+	Nanosecond Time = 1
+	// Microsecond is 1000 ns of simulated time.
+	Microsecond = 1000 * Nanosecond
+	// Millisecond is 1e6 ns of simulated time.
+	Millisecond = 1000 * Microsecond
+	// Second is 1e9 ns of simulated time.
+	Second = 1000 * Millisecond
+)
+
+// Geometry describes the dimensions of one DRAM device (one rank).
+type Geometry struct {
+	Banks int // independent banks
+	Rows  int // rows per bank (logical row address space)
+	Cols  int // 64-bit words per row
+}
+
+// BitsPerRow returns the number of data bits in one row.
+func (g Geometry) BitsPerRow() int { return g.Cols * 64 }
+
+// TotalCells returns the number of cells (bits) in the device.
+func (g Geometry) TotalCells() int64 {
+	return int64(g.Banks) * int64(g.Rows) * int64(g.BitsPerRow())
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("dram: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Timing holds the DDR3-class timing parameters (in nanoseconds) that
+// the memory controller uses for latency accounting. Values default to
+// a DDR3-1600-like part via DefaultTiming.
+type Timing struct {
+	TRCD   Time // ACT to internal read/write
+	TRP    Time // PRE to ACT
+	TRAS   Time // ACT to PRE minimum
+	TCL    Time // read column access strobe latency
+	TBURST Time // data burst duration (BL8)
+	TREFI  Time // average periodic refresh command interval
+	TRFC   Time // refresh command duration
+	TRC    Time // ACT to ACT, same bank (row cycle)
+}
+
+// DefaultTiming returns DDR3-1600 K4B4G0846-class timing.
+func DefaultTiming() Timing {
+	return Timing{
+		TRCD:   14,
+		TRP:    14,
+		TRAS:   35,
+		TCL:    14,
+		TBURST: 5,
+		TREFI:  7800, // 7.8 us -> 8192 REFs per 64 ms
+		TRFC:   260,
+		TRC:    49,
+	}
+}
+
+// RetentionWindow returns the time in which every row is refreshed
+// once under the standard 8192-REF scheme: tREFI * 8192.
+func (t Timing) RetentionWindow() Time { return t.TREFI * 8192 }
+
+// Energy holds per-operation energy costs in picojoules, used for the
+// refresh-burden and mitigation-overhead experiments. Values are
+// DDR3-class magnitudes; experiments depend on their ratios, not on
+// matching a specific datasheet.
+type Energy struct {
+	ACT         float64 // one activate+precharge pair, pJ
+	RD          float64 // one 64-byte read burst, pJ
+	WR          float64 // one 64-byte write burst, pJ
+	REFPerRow   float64 // refreshing one row, pJ
+	BackgroundW float64 // standby power, watts
+}
+
+// DefaultEnergy returns DDR3-class per-operation energies.
+func DefaultEnergy() Energy {
+	return Energy{ACT: 2500, RD: 1600, WR: 1700, REFPerRow: 1100, BackgroundW: 0.10}
+}
+
+// Stats counts device activity and accumulated operation energy.
+type Stats struct {
+	Activates    int64
+	Precharges   int64
+	Reads        int64
+	Writes       int64
+	RowRefreshes int64
+	OpEnergyPJ   float64
+}
+
+// FaultModel is the hook through which physical failure mechanisms
+// (disturbance, retention loss) corrupt cell contents. The device
+// invokes the hooks with *physical* row numbers; fault models mutate
+// cells through Device.FlipPhysBit and friends.
+//
+// OnActivate is called when a physical row's word line is raised; the
+// row's charge is subsequently fully restored (activation refreshes
+// the row), so models should apply any pending decay first and then
+// treat the row as refreshed. OnRefresh is called for explicit refresh
+// operations with identical semantics.
+type FaultModel interface {
+	// Name identifies the model in logs and stats.
+	Name() string
+	// OnActivate is invoked before the row's charge restore completes.
+	OnActivate(d *Device, bank, physRow int, now Time)
+	// OnRefresh is invoked before the row's charge restore completes.
+	OnRefresh(d *Device, bank, physRow int, now Time)
+}
+
+// Device is one DRAM rank: banks of rows of real bits plus fault
+// hooks, remapping, and accounting.
+type Device struct {
+	Geom   Geometry
+	Timing Timing
+	Energy Energy
+	Stats  Stats
+
+	banks  []*bank
+	faults []FaultModel
+	remap  *RemapTable
+
+	refreshPtr int // next row group for auto-refresh
+}
+
+type bank struct {
+	rows        [][]uint64
+	openPhysRow int // -1 when precharged
+	lastRestore []Time
+}
+
+// NewDevice builds a device with the given geometry and default
+// timing/energy. All cells start at 0 and all rows precharged.
+func NewDevice(g Geometry) *Device {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{
+		Geom:   g,
+		Timing: DefaultTiming(),
+		Energy: DefaultEnergy(),
+		remap:  IdentityRemap(g.Rows),
+	}
+	for b := 0; b < g.Banks; b++ {
+		bk := &bank{
+			rows:        make([][]uint64, g.Rows),
+			openPhysRow: -1,
+			lastRestore: make([]Time, g.Rows),
+		}
+		for r := range bk.rows {
+			bk.rows[r] = make([]uint64, g.Cols)
+		}
+		d.banks = append(d.banks, bk)
+	}
+	return d
+}
+
+// AttachFault registers a fault model. Models are invoked in
+// registration order.
+func (d *Device) AttachFault(f FaultModel) { d.faults = append(d.faults, f) }
+
+// SetRemap installs an internal logical→physical row remap table,
+// modelling post-manufacturing repair. It panics if the table does not
+// cover the device's rows.
+func (d *Device) SetRemap(rt *RemapTable) {
+	if rt.Rows() != d.Geom.Rows {
+		panic(fmt.Sprintf("dram: remap table covers %d rows, device has %d", rt.Rows(), d.Geom.Rows))
+	}
+	d.remap = rt
+}
+
+// Remap returns the device's internal remap table.
+func (d *Device) Remap() *RemapTable { return d.remap }
+
+// PhysRow translates a logical row address to its physical row.
+func (d *Device) PhysRow(logRow int) int { return d.remap.Phys(logRow) }
+
+func (d *Device) bank(b int) *bank {
+	if b < 0 || b >= len(d.banks) {
+		panic(fmt.Sprintf("dram: bank %d out of range", b))
+	}
+	return d.banks[b]
+}
+
+// restore applies fault hooks for a word-line raise and then marks the
+// row's charge as fully restored at time now.
+func (d *Device) restore(b, physRow int, now Time, activate bool) {
+	for _, f := range d.faults {
+		if activate {
+			f.OnActivate(d, b, physRow, now)
+		} else {
+			f.OnRefresh(d, b, physRow, now)
+		}
+	}
+	d.banks[b].lastRestore[physRow] = now
+}
+
+// Activate opens the given logical row in a bank. The bank must be
+// precharged. Activation senses and fully restores the row's charge,
+// so it also acts as a refresh of that row.
+func (d *Device) Activate(b, logRow int, now Time) {
+	bk := d.bank(b)
+	if bk.openPhysRow != -1 {
+		panic(fmt.Sprintf("dram: ACT to bank %d with row %d already open", b, bk.openPhysRow))
+	}
+	if logRow < 0 || logRow >= d.Geom.Rows {
+		panic(fmt.Sprintf("dram: ACT row %d out of range", logRow))
+	}
+	phys := d.remap.Phys(logRow)
+	d.restore(b, phys, now, true)
+	bk.openPhysRow = phys
+	d.Stats.Activates++
+	d.Stats.OpEnergyPJ += d.Energy.ACT
+}
+
+// Precharge closes the open row of a bank. Precharging an already
+// precharged bank is a no-op, as PREA semantics allow.
+func (d *Device) Precharge(b int) {
+	bk := d.bank(b)
+	if bk.openPhysRow != -1 {
+		bk.openPhysRow = -1
+		d.Stats.Precharges++
+	}
+}
+
+// OpenRow returns the physical row currently open in bank b, or -1.
+func (d *Device) OpenRow(b int) int { return d.bank(b).openPhysRow }
+
+// Read returns the 64-bit word at the given column of the open row.
+func (d *Device) Read(b, col int) uint64 {
+	bk := d.bank(b)
+	if bk.openPhysRow == -1 {
+		panic(fmt.Sprintf("dram: RD to precharged bank %d", b))
+	}
+	if col < 0 || col >= d.Geom.Cols {
+		panic(fmt.Sprintf("dram: RD col %d out of range", col))
+	}
+	d.Stats.Reads++
+	d.Stats.OpEnergyPJ += d.Energy.RD
+	return bk.rows[bk.openPhysRow][col]
+}
+
+// Write stores a 64-bit word at the given column of the open row.
+func (d *Device) Write(b, col int, v uint64) {
+	bk := d.bank(b)
+	if bk.openPhysRow == -1 {
+		panic(fmt.Sprintf("dram: WR to precharged bank %d", b))
+	}
+	if col < 0 || col >= d.Geom.Cols {
+		panic(fmt.Sprintf("dram: WR col %d out of range", col))
+	}
+	bk.rows[bk.openPhysRow][col] = v
+	d.Stats.Writes++
+	d.Stats.OpEnergyPJ += d.Energy.WR
+}
+
+// RefreshPhysRow explicitly refreshes one physical row (used by
+// auto-refresh, PARA neighbor refresh, and targeted-refresh commands).
+// The bank may be open or closed; real devices fold targeted refreshes
+// into spare timing slots, which the controller accounts for.
+func (d *Device) RefreshPhysRow(b, physRow int, now Time) {
+	if physRow < 0 || physRow >= d.Geom.Rows {
+		return // neighbor of an edge row; nothing to refresh
+	}
+	d.restore(b, physRow, now, false)
+	d.Stats.RowRefreshes++
+	d.Stats.OpEnergyPJ += d.Energy.REFPerRow
+}
+
+// RefreshLogRow refreshes the physical row backing a logical row.
+func (d *Device) RefreshLogRow(b, logRow int, now Time) {
+	d.RefreshPhysRow(b, d.remap.Phys(logRow), now)
+}
+
+// AutoRefreshGroupSize returns how many rows per bank one REF command
+// refreshes under the standard 8192-commands-per-window scheme.
+func (d *Device) AutoRefreshGroupSize() int {
+	n := d.Geom.Rows / 8192
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AutoRefresh performs one REF command: it refreshes the next group of
+// physical rows in every bank and advances the internal refresh
+// pointer. It returns the number of rows refreshed per bank.
+func (d *Device) AutoRefresh(now Time) int {
+	n := d.AutoRefreshGroupSize()
+	for b := range d.banks {
+		for i := 0; i < n; i++ {
+			d.RefreshPhysRow(b, (d.refreshPtr+i)%d.Geom.Rows, now)
+		}
+	}
+	d.refreshPtr = (d.refreshPtr + n) % d.Geom.Rows
+	return n
+}
+
+// LastRestore returns when the physical row's charge was last fully
+// restored (by activation or refresh).
+func (d *Device) LastRestore(b, physRow int) Time {
+	return d.bank(b).lastRestore[physRow]
+}
+
+// --- Raw cell access for fault models and test instrumentation ---
+//
+// These operate on *physical* rows and bypass the command protocol;
+// they model physics, not bus transactions, and cost no energy.
+
+// PhysBit returns the bit at position bit of a physical row.
+func (d *Device) PhysBit(b, physRow, bit int) uint64 {
+	row := d.bank(b).rows[physRow]
+	return (row[bit>>6] >> (uint(bit) & 63)) & 1
+}
+
+// SetPhysBit forces the bit at position bit of a physical row.
+func (d *Device) SetPhysBit(b, physRow, bit int, v uint64) {
+	row := d.bank(b).rows[physRow]
+	mask := uint64(1) << (uint(bit) & 63)
+	if v&1 == 1 {
+		row[bit>>6] |= mask
+	} else {
+		row[bit>>6] &^= mask
+	}
+}
+
+// FlipPhysBit inverts the bit at position bit of a physical row.
+func (d *Device) FlipPhysBit(b, physRow, bit int) {
+	row := d.bank(b).rows[physRow]
+	row[bit>>6] ^= uint64(1) << (uint(bit) & 63)
+}
+
+// PhysRowWords returns the backing words of a physical row. The slice
+// aliases device storage; callers must treat it as cell physics.
+func (d *Device) PhysRowWords(b, physRow int) []uint64 {
+	return d.bank(b).rows[physRow]
+}
+
+// FillPhysRow sets every word of a physical row to the given pattern
+// without going through the command interface (test instrumentation).
+func (d *Device) FillPhysRow(b, physRow int, pattern uint64) {
+	row := d.bank(b).rows[physRow]
+	for i := range row {
+		row[i] = pattern
+	}
+}
+
+// ResetStats zeroes the activity counters.
+func (d *Device) ResetStats() { d.Stats = Stats{} }

@@ -1,0 +1,209 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(data uint64) bool {
+		d, outcome := Decode(Encode(data))
+		return d == data && outcome == OK
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBitErrorsCorrected(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	for pos := 0; pos < 72; pos++ {
+		c := Encode(data)
+		c.FlipBit(pos)
+		d, outcome := Decode(c)
+		if outcome != Corrected {
+			t.Fatalf("flip at %d: outcome = %v, want Corrected", pos, outcome)
+		}
+		if d != data {
+			t.Fatalf("flip at %d: data corrupted to %x", pos, d)
+		}
+	}
+}
+
+func TestAllDoubleBitErrorsDetected(t *testing.T) {
+	data := uint64(0xfedcba9876543210)
+	for a := 0; a < 72; a++ {
+		for b := a + 1; b < 72; b++ {
+			c := Encode(data)
+			c.FlipBit(a)
+			c.FlipBit(b)
+			_, outcome := Decode(c)
+			if outcome != Detected {
+				t.Fatalf("flips at %d,%d: outcome = %v, want Detected", a, b, outcome)
+			}
+		}
+	}
+}
+
+func TestTripleBitErrorsMayMiscorrect(t *testing.T) {
+	// SECDED guarantees nothing beyond 2 flips; verify that at least
+	// one triple-flip pattern produces a silent miscorrection, which
+	// is the failure mode the paper's ECC discussion hinges on.
+	data := uint64(0xaaaaaaaaaaaaaaaa)
+	mis := 0
+	for a := 0; a < 24; a++ {
+		for b := a + 1; b < 48; b += 3 {
+			for c2 := b + 1; c2 < 72; c2 += 5 {
+				c := Encode(data)
+				c.FlipBit(a)
+				c.FlipBit(b)
+				c.FlipBit(c2)
+				if Classify(data, c) == Miscorrect {
+					mis++
+				}
+			}
+		}
+	}
+	if mis == 0 {
+		t.Fatal("no triple-bit pattern miscorrected; decoder is implausibly strong")
+	}
+}
+
+func TestClassifyMatchesDecodeForCleanPatterns(t *testing.T) {
+	data := uint64(0x5555aaaa0f0ff00f)
+	if got := Classify(data, Encode(data)); got != OK {
+		t.Errorf("clean codeword classified %v", got)
+	}
+	c := Encode(data)
+	c.FlipBit(10)
+	if got := Classify(data, c); got != Corrected {
+		t.Errorf("single flip classified %v", got)
+	}
+	c = Encode(data)
+	c.FlipBit(10)
+	c.FlipBit(20)
+	if got := Classify(data, c); got != Detected {
+		t.Errorf("double flip classified %v", got)
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	if err := quick.Check(func(data uint64, posRaw uint8) bool {
+		pos := int(posRaw) % 72
+		c := Encode(data)
+		orig := c
+		c.FlipBit(pos)
+		c.FlipBit(pos)
+		return c == orig
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParityBitErrorCorrected(t *testing.T) {
+	// Flipping the overall parity bit (position 0) must be handled.
+	data := uint64(42)
+	c := Encode(data)
+	c.FlipBit(0)
+	d, outcome := Decode(c)
+	if outcome != Corrected || d != data {
+		t.Fatalf("parity-bit flip: outcome=%v data=%x", outcome, d)
+	}
+}
+
+func TestCheckBits(t *testing.T) {
+	if CheckBits() != 8 {
+		t.Fatalf("SECDED(72,64) has 8 check bits, got %d", CheckBits())
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OK: "ok", Corrected: "corrected", Detected: "detected-uncorrectable",
+		Miscorrect: "miscorrected", Outcome(99): "unknown",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+func TestBlockCode(t *testing.T) {
+	bch := BlockCode{DataBits: 512, T: 2}
+	if !bch.Correctable(0) || !bch.Correctable(2) {
+		t.Error("within-capability pattern rejected")
+	}
+	if bch.Correctable(3) {
+		t.Error("beyond-capability pattern accepted")
+	}
+	if !bch.Detectable(3) {
+		t.Error("T+1 should be detectable")
+	}
+	if bch.Detectable(4) {
+		t.Error("T+2 should not be guaranteed detectable")
+	}
+	if (BlockCode{DataBits: 512, T: 0}).CheckBitsFor() != 0 {
+		t.Error("zero-strength code has overhead")
+	}
+	if got := bch.CheckBitsFor(); got != 20 {
+		t.Errorf("BCH(512, t=2) check bits = %d, want 20", got)
+	}
+}
+
+func TestChipkill(t *testing.T) {
+	ck := Chipkill{SymbolBits: 4, WordBits: 64}
+	if !ck.Correctable(nil) {
+		t.Error("empty pattern must be correctable")
+	}
+	if !ck.Correctable([]int{0, 1, 2, 3}) {
+		t.Error("one full symbol must be correctable")
+	}
+	if ck.Correctable([]int{3, 4}) {
+		t.Error("two-symbol pattern corrected")
+	}
+	if !ck.Detectable([]int{3, 4}) {
+		t.Error("two-symbol pattern not detected")
+	}
+	if ck.Detectable([]int{0, 4, 8}) {
+		t.Error("three-symbol pattern claimed detectable")
+	}
+}
+
+func TestRandomErrorStatistics(t *testing.T) {
+	// Sanity: at 1, 2 and 3 random flips, measure decoder behaviour on
+	// random data; single flips always corrected, double always
+	// detected.
+	src := rng.New(99)
+	for trial := 0; trial < 500; trial++ {
+		data := src.Uint64()
+		c := Encode(data)
+		p1 := src.Intn(72)
+		c.FlipBit(p1)
+		if Classify(data, c) != Corrected {
+			t.Fatal("random single flip not corrected")
+		}
+		c = Encode(data)
+		p2 := (p1 + 1 + src.Intn(71)) % 72
+		c.FlipBit(p1)
+		c.FlipBit(p2)
+		if Classify(data, c) != Detected {
+			t.Fatal("random double flip not detected")
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := Encode(0xdeadbeefcafebabe)
+	c.FlipBit(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Decode(c)
+	}
+}

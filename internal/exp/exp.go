@@ -1,0 +1,55 @@
+// Package exp implements every experiment in the reproduction: one
+// function per table/figure-shaped claim of the paper (see DESIGN.md's
+// per-experiment index). Each experiment is deterministic given its
+// seed and returns a printable stats.Table; cmd/experiments, the root
+// benchmark harness, and EXPERIMENTS.md all consume the same
+// functions.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E23).
+	ID string
+	// Title summarizes what is reproduced.
+	Title string
+	// Anchor cites the paper claim or figure being reproduced.
+	Anchor string
+	// Run executes the experiment with the given seed.
+	Run func(seed uint64) *stats.Table
+}
+
+var registry []Experiment
+
+func register(id, title, anchor string, run func(uint64) *stats.Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Anchor: anchor, Run: run})
+}
+
+// All returns every registered experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// E2 < E10 requires numeric comparison.
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,156 @@
+// Package fieldstudy simulates the large-scale in-the-field DRAM error
+// studies the paper leans on in Section III ("There have been recent
+// large-scale field studies of memory errors showing that both DRAM
+// and NAND flash memory technologies are becoming less reliable" —
+// Meza et al. DSN 2015, Sridharan et al. SC 2012/2013, ASPLOS 2015).
+//
+// Those studies' recurring findings, which the model reproduces, are:
+//
+//   - error rates grow with chip density generation;
+//   - errors are heavily concentrated: a small fraction of DIMMs
+//     produces the large majority of error events (fleet error counts
+//     are far more skewed than a Poisson process would be, because
+//     per-DIMM latent rates are heavy-tailed);
+//   - a persistent fraction of correctable-error DIMMs later develop
+//     uncorrectable errors, motivating page retirement and stronger
+//     codes.
+//
+// The model: each DIMM draws a latent monthly error rate from a
+// heavy-tailed (lognormal) distribution whose scale grows with the
+// DIMM's density generation; monthly correctable-error counts are
+// Poisson with that latent rate; a DIMM with latent rate lambda
+// suffers an uncorrectable event in a month with probability
+// proportional to lambda (multi-bit coincidence in one ECC word).
+package fieldstudy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// DensityClass is a DRAM density generation deployed in the fleet.
+type DensityClass struct {
+	// Label names the generation (e.g. "1Gb", "2Gb", "4Gb").
+	Label string
+	// RateScale multiplies the fleet-wide base error rate; denser
+	// generations have higher scales in the field studies.
+	RateScale float64
+	// DIMMs is how many modules of this class the fleet has.
+	DIMMs int
+}
+
+// Config parameterizes the fleet.
+type Config struct {
+	Classes []DensityClass
+	// BaseRate is the median monthly correctable-error rate of the
+	// oldest generation.
+	BaseRate float64
+	// TailSigma is the lognormal sigma of per-DIMM latent rates; the
+	// field studies' concentration implies a heavy tail (>2).
+	TailSigma float64
+	// UEPerCE is the probability scale of an uncorrectable event per
+	// unit of latent rate per month.
+	UEPerCE float64
+	// Months simulated.
+	Months int
+}
+
+// DefaultConfig mirrors the scale relationships of the DSN 2015 study
+// (thousands of servers, three density generations, rising rates).
+func DefaultConfig() Config {
+	return Config{
+		Classes: []DensityClass{
+			{"1Gb", 1.0, 4000},
+			{"2Gb", 2.2, 6000},
+			{"4Gb", 4.5, 6000},
+		},
+		BaseRate:  0.001, // median CEs per DIMM-month, oldest class
+		TailSigma: 2.4,
+		UEPerCE:   3e-3,
+		Months:    12,
+	}
+}
+
+// DIMMRecord is one module's simulated service history.
+type DIMMRecord struct {
+	Class         string
+	LatentRate    float64
+	Correctable   int64
+	Uncorrectable int64
+}
+
+// ClassStats aggregates one density class.
+type ClassStats struct {
+	Label                  string
+	DIMMs                  int
+	CEPerDIMMMonth         float64
+	FracDIMMsWithCE        float64
+	UEPerThousandDIMMMonth float64
+	// Top1PctShare is the fraction of all correctable errors produced
+	// by the top 1% of DIMMs — the concentration metric.
+	Top1PctShare float64
+}
+
+// Result is the full fleet outcome.
+type Result struct {
+	Records []DIMMRecord
+	Classes []ClassStats
+}
+
+// Run simulates the fleet. Deterministic given the stream.
+func Run(cfg Config, src *rng.Stream) Result {
+	var res Result
+	for _, cls := range cfg.Classes {
+		var records []DIMMRecord
+		var totalCE, totalUE int64
+		withCE := 0
+		for i := 0; i < cls.DIMMs; i++ {
+			lambda := cfg.BaseRate * cls.RateScale *
+				src.LogNormal(0, cfg.TailSigma)
+			rec := DIMMRecord{Class: cls.Label, LatentRate: lambda}
+			for m := 0; m < cfg.Months; m++ {
+				rec.Correctable += src.Poisson(lambda)
+				pUE := cfg.UEPerCE * lambda
+				if pUE > 1 {
+					pUE = 1
+				}
+				if src.Bool(pUE) {
+					rec.Uncorrectable++
+				}
+			}
+			totalCE += rec.Correctable
+			totalUE += rec.Uncorrectable
+			if rec.Correctable > 0 {
+				withCE++
+			}
+			records = append(records, rec)
+		}
+		// Concentration: sort by CE count descending.
+		sorted := append([]DIMMRecord(nil), records...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Correctable > sorted[j].Correctable
+		})
+		top := int(math.Ceil(float64(len(sorted)) * 0.01))
+		var topCE int64
+		for i := 0; i < top; i++ {
+			topCE += sorted[i].Correctable
+		}
+		share := 0.0
+		if totalCE > 0 {
+			share = float64(topCE) / float64(totalCE)
+		}
+		dimmMonths := float64(cls.DIMMs * cfg.Months)
+		res.Classes = append(res.Classes, ClassStats{
+			Label:                  cls.Label,
+			DIMMs:                  cls.DIMMs,
+			CEPerDIMMMonth:         float64(totalCE) / dimmMonths,
+			FracDIMMsWithCE:        float64(withCE) / float64(cls.DIMMs),
+			UEPerThousandDIMMMonth: float64(totalUE) / dimmMonths * 1000,
+			Top1PctShare:           share,
+		})
+		res.Records = append(res.Records, records...)
+	}
+	return res
+}

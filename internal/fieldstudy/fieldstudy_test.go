@@ -1,0 +1,99 @@
+package fieldstudy
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFleetSize(t *testing.T) {
+	cfg := DefaultConfig()
+	res := Run(cfg, rng.New(1))
+	want := 0
+	for _, c := range cfg.Classes {
+		want += c.DIMMs
+	}
+	if len(res.Records) != want {
+		t.Fatalf("records = %d, want %d", len(res.Records), want)
+	}
+	if len(res.Classes) != len(cfg.Classes) {
+		t.Fatalf("classes = %d", len(res.Classes))
+	}
+}
+
+func TestRatesGrowWithDensity(t *testing.T) {
+	res := Run(DefaultConfig(), rng.New(2))
+	prev := -1.0
+	for _, c := range res.Classes {
+		if c.CEPerDIMMMonth <= prev {
+			t.Fatalf("CE rate not growing with density at %s: %v <= %v",
+				c.Label, c.CEPerDIMMMonth, prev)
+		}
+		prev = c.CEPerDIMMMonth
+	}
+}
+
+func TestErrorsConcentrated(t *testing.T) {
+	// The field-study signature: the top 1% of DIMMs produce a large
+	// share of all correctable errors (far beyond their 1% headcount).
+	res := Run(DefaultConfig(), rng.New(3))
+	for _, c := range res.Classes {
+		if c.Top1PctShare < 0.3 {
+			t.Fatalf("class %s: top-1%% share only %.2f; tail not heavy enough",
+				c.Label, c.Top1PctShare)
+		}
+		if c.Top1PctShare > 0.999 {
+			t.Fatalf("class %s: top-1%% share %.3f implausibly total", c.Label, c.Top1PctShare)
+		}
+	}
+}
+
+func TestMostDIMMsClean(t *testing.T) {
+	// Field studies consistently find the majority of DIMMs log no
+	// errors at all in a year.
+	res := Run(DefaultConfig(), rng.New(4))
+	for _, c := range res.Classes {
+		if c.FracDIMMsWithCE > 0.6 {
+			t.Fatalf("class %s: %.0f%% of DIMMs saw errors; should be a minority",
+				c.Label, 100*c.FracDIMMsWithCE)
+		}
+	}
+}
+
+func TestUncorrectableRarerThanCorrectable(t *testing.T) {
+	res := Run(DefaultConfig(), rng.New(5))
+	var ce, ue int64
+	for _, r := range res.Records {
+		ce += r.Correctable
+		ue += r.Uncorrectable
+	}
+	if ue == 0 {
+		t.Fatal("no uncorrectable events in a year of fleet time")
+	}
+	if ue*100 > ce {
+		t.Fatalf("UE (%d) not rare relative to CE (%d)", ue, ce)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(), rng.New(6))
+	b := Run(DefaultConfig(), rng.New(6))
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			t.Fatalf("class %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestUEProbabilityClamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UEPerCE = 1e6 // absurd scale: probability must clamp, not panic
+	cfg.Classes = []DensityClass{{"x", 1, 10}}
+	cfg.Months = 2
+	res := Run(cfg, rng.New(7))
+	for _, r := range res.Records {
+		if r.Uncorrectable > int64(cfg.Months) {
+			t.Fatalf("more UEs than months: %d", r.Uncorrectable)
+		}
+	}
+}

@@ -1,0 +1,502 @@
+// Package flash models MLC NAND flash memory in the threshold-voltage
+// domain, at the level of detail the paper's five flash claims need:
+//
+//   - Four states per cell (ER, P1, P2, P3) with Gray-coded LSB/MSB
+//     pages sharing each wordline, programmed as Gaussian threshold
+//     voltage distributions.
+//   - Program/erase wear: distributions widen with P/E cycles.
+//   - Retention loss: cell voltage drifts down over time, faster for
+//     worn cells and higher states, with wide per-cell variation in
+//     leakiness (the basis of Retention Failure Recovery).
+//   - Read disturb: every page read weakly programs the whole block,
+//     pushing low states up, with wide per-cell susceptibility
+//     variation (the DSN 2015 characterization).
+//   - Program interference: programming a wordline couples voltage
+//     onto the previous wordline's cells (the basis of neighbor-cell
+//     assisted correction).
+//   - Two-step programming: the LSB is programmed first to a
+//     temporary intermediate state; the MSB program internally reads
+//     that intermediate state back, so disturbance of the
+//     intermediate value corrupts the final cell (the HPCA 2017
+//     vulnerability).
+//
+// Reads are deterministic given the physics state; all randomness is
+// injected at construction and programming time from an explicit
+// stream, so experiments replay exactly.
+package flash
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// State is an MLC cell state, ordered by threshold voltage.
+type State int
+
+// The four MLC states.
+const (
+	ER State = iota // erased, lowest voltage
+	P1
+	P2
+	P3
+)
+
+// Gray code mapping between states and (LSB, MSB) page bits, matching
+// the two-step programming order of real MLC parts:
+// ER=(1,1), P1=(1,0), P2=(0,0), P3=(0,1).
+//
+// The LSB partitions the voltage axis once (ER,P1 vs P2,P3), which is
+// what lets the first programming step place LSB=0 cells at a single
+// intermediate distribution between P1 and P2; the MSB step then moves
+// every cell monotonically upward to its final state.
+var (
+	lsbOf = [4]uint64{1, 1, 0, 0}
+	msbOf = [4]uint64{1, 0, 0, 1}
+)
+
+// StateOf returns the state encoding the given (lsb, msb) bit pair.
+func StateOf(lsb, msb uint64) State {
+	switch {
+	case lsb == 1 && msb == 1:
+		return ER
+	case lsb == 1 && msb == 0:
+		return P1
+	case lsb == 0 && msb == 0:
+		return P2
+	default:
+		return P3
+	}
+}
+
+// Params calibrates the cell physics. Voltages are normalized volts.
+type Params struct {
+	// Means are the nominal state distribution centers.
+	Means [4]float64
+	// Sigma0 is the fresh programming noise; WearCoef widens it:
+	// sigma = Sigma0 * (1 + WearCoef*(PE/PENorm)^0.6).
+	Sigma0   float64
+	WearCoef float64
+	PENorm   float64
+	// RetCoef scales retention drift:
+	// shift = RetCoef * leak_i * (1+PE/PENorm) * ln(1+t/RetT0Hours) * level.
+	RetCoef    float64
+	RetT0Hours float64
+	LeakSigma  float64 // lognormal sigma of per-cell leakiness
+	// RDCoef scales read disturb:
+	// shift = RDCoef * sus_i * reads * (1+PE/PENorm) * erLevel.
+	RDCoef  float64
+	RDSigma float64 // lognormal sigma of per-cell susceptibility
+	// Gamma scales inter-wordline program interference; CoupSigma is
+	// the per-cell coupling variation.
+	Gamma     float64
+	CoupSigma float64
+	// IntMean/IntSigma place the two-step intermediate distribution.
+	IntMean  float64
+	IntSigma float64
+}
+
+// DefaultParams returns a 2x-nm-class MLC calibration.
+func DefaultParams() Params {
+	return Params{
+		Means:      [4]float64{-2.0, 1.0, 2.0, 3.0},
+		Sigma0:     0.13,
+		WearCoef:   0.45,
+		PENorm:     10000,
+		RetCoef:    0.002,
+		RetT0Hours: 1,
+		LeakSigma:  0.5,
+		RDCoef:     1.5e-6,
+		RDSigma:    0.7,
+		Gamma:      0.02,
+		CoupSigma:  0.4,
+		IntMean:    1.4,
+		IntSigma:   0.22,
+	}
+}
+
+// ReadRefs are the three read reference voltages plus the internal
+// reference used by the second programming step. Offsets shift them.
+type ReadRefs struct {
+	R01, R12, R23 float64
+	RInt          float64
+}
+
+// NominalRefs derives mid-gap references from the parameters.
+func (p Params) NominalRefs() ReadRefs {
+	return ReadRefs{
+		R01:  (p.Means[0] + p.Means[1]) / 2,
+		R12:  (p.Means[1] + p.Means[2]) / 2,
+		R23:  (p.Means[2] + p.Means[3]) / 2,
+		RInt: (p.Means[0] + p.IntMean) / 2,
+	}
+}
+
+// Shifted returns refs offset by the given amounts (RFR/NAC use this).
+func (r ReadRefs) Shifted(d01, d12, d23 float64) ReadRefs {
+	return ReadRefs{R01: r.R01 + d01, R12: r.R12 + d12, R23: r.R23 + d23, RInt: r.RInt}
+}
+
+// wlState tracks a wordline's programming progress.
+type wlState int
+
+const (
+	wlErased wlState = iota
+	wlLSBOnly
+	wlFull
+)
+
+// Block is one NAND block: WLs wordlines of Cells cells each; each
+// wordline exposes an LSB page and an MSB page.
+type Block struct {
+	p     Params
+	WLs   int
+	Cells int // must be a multiple of 64
+
+	pe         int
+	reads      int64
+	clockHours float64
+
+	v        [][]float32 // programmed voltage incl. interference
+	state    []wlState
+	progHour []float64 // per WL, hour of (last) program
+	readBase []int64   // block read count at WL program time
+
+	truthLSB [][]uint64
+	truthMSB [][]uint64
+
+	// Static per-cell physics factors, index wl*Cells+c.
+	leak  []float32
+	rdSus []float32
+	coup  []float32
+
+	src *rng.Stream
+}
+
+// NewBlock builds an erased block. Cells must be a multiple of 64.
+func NewBlock(p Params, wls, cells int, src *rng.Stream) *Block {
+	if cells%64 != 0 || cells <= 0 || wls <= 0 {
+		panic(fmt.Sprintf("flash: invalid block geometry %dx%d", wls, cells))
+	}
+	b := &Block{p: p, WLs: wls, Cells: cells, src: src}
+	n := wls * cells
+	b.leak = make([]float32, n)
+	b.rdSus = make([]float32, n)
+	b.coup = make([]float32, n)
+	for i := 0; i < n; i++ {
+		b.leak[i] = float32(src.LogNormal(0, p.LeakSigma))
+		b.rdSus[i] = float32(src.LogNormal(0, p.RDSigma))
+		b.coup[i] = float32(src.LogNormal(0, p.CoupSigma))
+	}
+	b.v = make([][]float32, wls)
+	b.truthLSB = make([][]uint64, wls)
+	b.truthMSB = make([][]uint64, wls)
+	for w := 0; w < wls; w++ {
+		b.v[w] = make([]float32, cells)
+		b.truthLSB[w] = make([]uint64, cells/64)
+		b.truthMSB[w] = make([]uint64, cells/64)
+	}
+	b.state = make([]wlState, wls)
+	b.progHour = make([]float64, wls)
+	b.readBase = make([]int64, wls)
+	b.pe = -1 // the initial erase is manufacturing, not wear
+	b.Erase()
+	return b
+}
+
+// PE returns the block's program/erase cycle count.
+func (b *Block) PE() int { return b.pe }
+
+// Reads returns the block's cumulative page read count.
+func (b *Block) Reads() int64 { return b.reads }
+
+// ClockHours returns the block's elapsed time.
+func (b *Block) ClockHours() float64 { return b.clockHours }
+
+// sigma returns the current programming noise.
+func (b *Block) sigma(base float64) float64 {
+	return base * (1 + b.p.WearCoef*math.Pow(float64(b.pe)/b.p.PENorm, 0.6))
+}
+
+// wearFactor scales time- and read-dependent drift with wear.
+func (b *Block) wearFactor() float64 { return 1 + float64(b.pe)/b.p.PENorm }
+
+// Erase resets every cell to the erased distribution and increments
+// the P/E count.
+func (b *Block) Erase() {
+	b.pe++
+	for w := 0; w < b.WLs; w++ {
+		for c := 0; c < b.Cells; c++ {
+			b.v[w][c] = float32(b.src.Normal(b.p.Means[ER], b.sigma(b.p.Sigma0)))
+		}
+		b.state[w] = wlErased
+		for i := range b.truthLSB[w] {
+			b.truthLSB[w][i] = ^uint64(0)
+			b.truthMSB[w][i] = ^uint64(0)
+		}
+		b.progHour[w] = b.clockHours
+		b.readBase[w] = b.reads
+	}
+}
+
+// AdvanceHours moves the block's clock forward (retention ages data).
+func (b *Block) AdvanceHours(h float64) {
+	if h < 0 {
+		panic("flash: negative time advance")
+	}
+	b.clockHours += h
+}
+
+// bitOf extracts bit c from a packed page.
+func bitOf(page []uint64, c int) uint64 { return (page[c>>6] >> uint(c&63)) & 1 }
+
+func setBit(page []uint64, c int, v uint64) {
+	if v&1 == 1 {
+		page[c>>6] |= 1 << uint(c&63)
+	} else {
+		page[c>>6] &^= 1 << uint(c&63)
+	}
+}
+
+// program moves one cell to the target distribution. ISPP only moves
+// voltage upward: a cell already above the target mean stays put.
+func (b *Block) program(w, c int, mean, sigmaBase float64) {
+	target := float32(b.src.Normal(mean, b.sigma(sigmaBase)))
+	if target > b.v[w][c] {
+		b.v[w][c] = target
+	}
+}
+
+// interfere applies program interference from wordline w onto w-1:
+// each aggressor cell's voltage rise couples onto the victim cell at
+// the same column.
+func (b *Block) interfere(w int, rise []float32) {
+	if w == 0 {
+		return
+	}
+	vw := b.v[w-1]
+	for c := 0; c < b.Cells; c++ {
+		if rise[c] > 0 {
+			vw[c] += float32(b.p.Gamma) * b.coup[(w-1)*b.Cells+c] * rise[c]
+		}
+	}
+}
+
+// ProgramFull programs both pages of an erased wordline in one step
+// (full-sequence programming; no intermediate-state vulnerability).
+func (b *Block) ProgramFull(w int, lsb, msb []uint64) {
+	b.checkPages(w, lsb, msb)
+	if b.state[w] != wlErased {
+		panic("flash: ProgramFull on non-erased wordline")
+	}
+	rise := make([]float32, b.Cells)
+	for c := 0; c < b.Cells; c++ {
+		before := b.v[w][c]
+		s := StateOf(bitOf(lsb, c), bitOf(msb, c))
+		if s != ER {
+			b.program(w, c, b.p.Means[s], b.p.Sigma0)
+		}
+		rise[c] = b.v[w][c] - before
+	}
+	copy(b.truthLSB[w], lsb)
+	copy(b.truthMSB[w], msb)
+	b.state[w] = wlFull
+	b.progHour[w] = b.clockHours
+	b.readBase[w] = b.reads
+	b.interfere(w, rise)
+}
+
+// ProgramLSB performs the first step of two-step programming: cells
+// whose LSB is 0 move to the intermediate distribution.
+func (b *Block) ProgramLSB(w int, lsb []uint64) {
+	b.checkPage(w, lsb)
+	if b.state[w] != wlErased {
+		panic("flash: ProgramLSB on non-erased wordline")
+	}
+	rise := make([]float32, b.Cells)
+	for c := 0; c < b.Cells; c++ {
+		before := b.v[w][c]
+		if bitOf(lsb, c) == 0 {
+			b.program(w, c, b.p.IntMean, b.p.IntSigma)
+		}
+		rise[c] = b.v[w][c] - before
+	}
+	copy(b.truthLSB[w], lsb)
+	b.state[w] = wlLSBOnly
+	b.progHour[w] = b.clockHours
+	b.readBase[w] = b.reads
+	b.interfere(w, rise)
+}
+
+// ProgramMSB performs the second step. The chip internally reads the
+// intermediate state against refs.RInt to recover the stored LSB; if
+// disturbance moved the intermediate value across RInt, the recovered
+// LSB is wrong and the cell lands in the wrong final state — this is
+// the two-step vulnerability. If bufferedLSB is non-nil the controller
+// supplies the true LSB (the HPCA 2017 mitigation) and the internal
+// read is skipped.
+func (b *Block) ProgramMSB(w int, msb []uint64, refs ReadRefs, bufferedLSB []uint64) {
+	b.checkPage(w, msb)
+	if b.state[w] != wlLSBOnly {
+		panic("flash: ProgramMSB requires an LSB-programmed wordline")
+	}
+	rise := make([]float32, b.Cells)
+	for c := 0; c < b.Cells; c++ {
+		before := b.v[w][c]
+		var lsbBit uint64
+		if bufferedLSB != nil {
+			lsbBit = bitOf(bufferedLSB, c)
+		} else {
+			// Internal read of the (possibly disturbed) intermediate.
+			if b.effV(w, c) < float32(refs.RInt) {
+				lsbBit = 1
+			}
+		}
+		s := StateOf(lsbBit, bitOf(msb, c))
+		if s != ER {
+			b.program(w, c, b.p.Means[s], b.p.Sigma0)
+		}
+		rise[c] = b.v[w][c] - before
+	}
+	copy(b.truthMSB[w], msb)
+	b.state[w] = wlFull
+	// The MSB step re-verifies placement; retention clock restarts.
+	b.progHour[w] = b.clockHours
+	b.readBase[w] = b.reads
+	b.interfere(w, rise)
+}
+
+// effV returns the cell's effective voltage right now: programmed
+// voltage plus read-disturb shift minus retention drift.
+func (b *Block) effV(w, c int) float32 {
+	i := w*b.Cells + c
+	v := float64(b.v[w][c])
+	span := b.p.Means[3] - b.p.Means[0]
+	// Read disturb pushes low cells up.
+	reads := float64(b.reads - b.readBase[w])
+	if reads > 0 && b.p.RDCoef > 0 {
+		erLevel := (b.p.Means[3] - v) / span
+		if erLevel > 0 {
+			v += b.p.RDCoef * float64(b.rdSus[i]) * reads * b.wearFactor() * erLevel
+		}
+	}
+	// Retention pulls high cells down.
+	dt := b.clockHours - b.progHour[w]
+	if dt > 0 && b.p.RetCoef > 0 {
+		level := (v - b.p.Means[0]) / span
+		if level > 0 {
+			v -= b.p.RetCoef * float64(b.leak[i]) * b.wearFactor() *
+				math.Log(1+dt/b.p.RetT0Hours) * level * span
+		}
+	}
+	return float32(v)
+}
+
+// ReadLSB reads the LSB page of a wordline with the given references.
+// Under the Gray mapping the LSB is 1 for states below R12. Every read
+// disturbs the block.
+func (b *Block) ReadLSB(w int, refs ReadRefs) []uint64 {
+	b.reads++
+	out := make([]uint64, b.Cells/64)
+	for c := 0; c < b.Cells; c++ {
+		if float64(b.effV(w, c)) < refs.R12 {
+			setBit(out, c, 1)
+		}
+	}
+	return out
+}
+
+// ReadMSB reads the MSB page of a wordline: the MSB is 1 for the
+// lowest and highest states (below R01 or at/above R23).
+func (b *Block) ReadMSB(w int, refs ReadRefs) []uint64 {
+	b.reads++
+	out := make([]uint64, b.Cells/64)
+	for c := 0; c < b.Cells; c++ {
+		v := float64(b.effV(w, c))
+		if v < refs.R01 || v >= refs.R23 {
+			setBit(out, c, 1)
+		}
+	}
+	return out
+}
+
+// CycleWear ages the block by n program/erase cycles without the data
+// churn of modelled erases — accelerated-aging instrumentation for
+// experiments. Call Erase afterwards to re-randomize cell charge at
+// the aged noise level.
+func (b *Block) CycleWear(n int) {
+	if n < 0 {
+		panic("flash: negative wear")
+	}
+	b.pe += n
+}
+
+// StressReads applies the disturbance of n page reads of this block
+// without executing their data path (the attacker does not care about
+// the data). The disturbance accounting is identical to n real reads.
+func (b *Block) StressReads(n int64) {
+	if n < 0 {
+		panic("flash: negative reads")
+	}
+	b.reads += n
+}
+
+// TruthLSB returns the ground-truth LSB page (experiment use only).
+func (b *Block) TruthLSB(w int) []uint64 { return b.truthLSB[w] }
+
+// TruthMSB returns the ground-truth MSB page.
+func (b *Block) TruthMSB(w int) []uint64 { return b.truthMSB[w] }
+
+// StateOfWL reports whether a wordline is erased / LSB-only / fully
+// programmed, for FTL bookkeeping.
+func (b *Block) FullyProgrammed(w int) bool { return b.state[w] == wlFull }
+
+// LSBProgrammed reports whether the wordline holds an LSB page
+// (possibly awaiting its MSB step).
+func (b *Block) LSBProgrammed(w int) bool { return b.state[w] != wlErased }
+
+func (b *Block) checkPages(w int, lsb, msb []uint64) {
+	b.checkPage(w, lsb)
+	b.checkPage(w, msb)
+}
+
+func (b *Block) checkPage(w int, page []uint64) {
+	if w < 0 || w >= b.WLs {
+		panic(fmt.Sprintf("flash: wordline %d out of range", w))
+	}
+	if len(page) != b.Cells/64 {
+		panic(fmt.Sprintf("flash: page has %d words, want %d", len(page), b.Cells/64))
+	}
+}
+
+// CountBitErrors returns the number of differing bits between two
+// packed pages.
+func CountBitErrors(got, want []uint64) int {
+	n := 0
+	for i := range got {
+		n += popcount(got[i] ^ want[i])
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// RBER measures the raw bit error rate of one wordline (both pages)
+// against ground truth with nominal references.
+func (b *Block) RBER(w int) float64 {
+	refs := b.p.NominalRefs()
+	e := CountBitErrors(b.ReadLSB(w, refs), b.truthLSB[w]) +
+		CountBitErrors(b.ReadMSB(w, refs), b.truthMSB[w])
+	return float64(e) / float64(2*b.Cells)
+}
+
+// Params returns the block's physics calibration.
+func (b *Block) ParamsRef() Params { return b.p }

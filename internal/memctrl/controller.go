@@ -1,0 +1,271 @@
+// Package memctrl implements the memory controller: address mapping,
+// open-page access path with DDR3-class latency and energy accounting,
+// the periodic auto-refresh engine (with the configurable refresh-rate
+// multiplier that is the paper's "immediate solution"), and a registry
+// of pluggable RowHammer mitigations — PARA in its three placements,
+// counter-based detection (CRA), in-DRAM targeted-refresh sampling
+// (TRR), and ANVIL-style software detection.
+//
+// The pluggable registry is a working miniature of the paper's central
+// architectural argument: an intelligent, configurable memory
+// controller can be "configured/programmed/patched to execute
+// specialized functions" when a new failure mechanism is discovered.
+// Every mitigation below is such a patch: none of them require
+// changing the device model.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// AddressMap translates flat physical byte addresses to DRAM
+// coordinates. The layout is row:bank:col:offset (row-interleaved,
+// open-page friendly): consecutive cache lines hit the same row.
+type AddressMap struct {
+	Geom dram.Geometry
+}
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Bank, Row, Col int
+}
+
+// Decode maps a byte address to its DRAM coordinate. The low 3 bits
+// (byte-in-word) are dropped. Addresses beyond the device wrap, which
+// keeps workload generators simple.
+func (a AddressMap) Decode(addr uint64) Coord {
+	w := addr >> 3
+	col := int(w % uint64(a.Geom.Cols))
+	w /= uint64(a.Geom.Cols)
+	bank := int(w % uint64(a.Geom.Banks))
+	w /= uint64(a.Geom.Banks)
+	row := int(w % uint64(a.Geom.Rows))
+	return Coord{Bank: bank, Row: row, Col: col}
+}
+
+// Encode maps a DRAM coordinate back to the canonical byte address.
+func (a AddressMap) Encode(c Coord) uint64 {
+	w := uint64(c.Row)
+	w = w*uint64(a.Geom.Banks) + uint64(c.Bank)
+	w = w*uint64(a.Geom.Cols) + uint64(c.Col)
+	return w << 3
+}
+
+// Bytes returns the addressable capacity in bytes.
+func (a AddressMap) Bytes() uint64 {
+	return uint64(a.Geom.TotalCells() / 8)
+}
+
+// Config parameterizes a controller.
+type Config struct {
+	Geom dram.Geometry
+	// RefreshMultiplier scales the refresh rate: 1 is the nominal
+	// 64 ms window, 2 refreshes twice as often (32 ms window), etc.
+	// This is the paper's "increase the refresh rate" solution.
+	RefreshMultiplier float64
+	// DisableRefresh turns auto-refresh off entirely (used by
+	// retention experiments that control refresh manually).
+	DisableRefresh bool
+}
+
+// Stats aggregates controller-side accounting.
+type Stats struct {
+	Accesses      int64
+	RowHits       int64
+	RowMisses     int64 // bank was closed
+	RowConflicts  int64 // different row was open
+	AutoRefreshes int64 // REF commands issued
+	MitRefreshes  int64 // rows refreshed by mitigations
+	BusyTime      dram.Time
+	RefreshTime   dram.Time
+	MitTime       dram.Time
+}
+
+// Controller drives one dram.Device.
+type Controller struct {
+	cfg  Config
+	dev  *dram.Device
+	amap AddressMap
+
+	now        dram.Time
+	nextRefDue dram.Time
+	refPeriod  dram.Time
+	lastAct    []dram.Time // per bank, for tRC enforcement
+
+	mitigations []Mitigation
+	Stats       Stats
+}
+
+// New creates a controller over the given device.
+func New(dev *dram.Device, cfg Config) *Controller {
+	if cfg.RefreshMultiplier <= 0 {
+		cfg.RefreshMultiplier = 1
+	}
+	cfg.Geom = dev.Geom
+	c := &Controller{
+		cfg:     cfg,
+		dev:     dev,
+		amap:    AddressMap{Geom: dev.Geom},
+		lastAct: make([]dram.Time, dev.Geom.Banks),
+	}
+	c.refPeriod = dram.Time(float64(dev.Timing.TREFI) / cfg.RefreshMultiplier)
+	if c.refPeriod < 1 {
+		c.refPeriod = 1
+	}
+	c.nextRefDue = c.refPeriod
+	return c
+}
+
+// Device returns the controlled device (experiment instrumentation).
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Map returns the controller's address map.
+func (c *Controller) Map() AddressMap { return c.amap }
+
+// Now returns the current simulated time.
+func (c *Controller) Now() dram.Time { return c.now }
+
+// Attach registers a mitigation. Mitigations see every activate.
+func (c *Controller) Attach(m Mitigation) { c.mitigations = append(c.mitigations, m) }
+
+// Mitigations returns the attached mitigations.
+func (c *Controller) Mitigations() []Mitigation { return c.mitigations }
+
+// serviceRefresh issues any REF commands that have come due. Refresh
+// stalls the device for tRFC each, which is how the refresh-rate
+// solution's performance overhead arises.
+func (c *Controller) serviceRefresh() {
+	if c.cfg.DisableRefresh {
+		return
+	}
+	for c.now >= c.nextRefDue {
+		// REF requires all banks precharged.
+		for b := 0; b < c.cfg.Geom.Banks; b++ {
+			c.dev.Precharge(b)
+		}
+		c.dev.AutoRefresh(c.now)
+		c.Stats.AutoRefreshes++
+		// tRFC steals bandwidth within the tREFI budget rather than
+		// stretching it; it is charged as busy time, the quantity the
+		// refresh-burden experiment reports as throughput loss.
+		c.Stats.RefreshTime += c.dev.Timing.TRFC
+		c.nextRefDue += c.refPeriod
+		for _, m := range c.mitigations {
+			m.OnAutoRefresh(c)
+		}
+	}
+}
+
+// Access performs one 64-bit read or write at a flat byte address and
+// returns the read data (reads echo the stored word; writes return the
+// written word) plus the access latency.
+func (c *Controller) Access(addr uint64, write bool, data uint64) (uint64, dram.Time) {
+	return c.AccessCoord(c.amap.Decode(addr), write, data)
+}
+
+// AccessCoord is Access with a pre-decoded coordinate; attack kernels
+// use it to hammer specific rows.
+func (c *Controller) AccessCoord(co Coord, write bool, data uint64) (uint64, dram.Time) {
+	c.serviceRefresh()
+	start := c.now
+	t := c.dev.Timing
+	open := c.dev.OpenRow(co.Bank)
+	phys := c.dev.PhysRow(co.Row)
+	switch {
+	case open == phys:
+		c.Stats.RowHits++
+		c.now += t.TCL + t.TBURST
+	case open == -1:
+		c.Stats.RowMisses++
+		c.activate(co.Bank, co.Row)
+		c.now += t.TRCD + t.TCL + t.TBURST
+	default:
+		c.Stats.RowConflicts++
+		// Respect the row cycle time between ACTs to the same bank.
+		if since := c.now - c.lastAct[co.Bank]; since < t.TRC {
+			c.now += t.TRC - since
+		}
+		c.dev.Precharge(co.Bank)
+		c.activate(co.Bank, co.Row)
+		c.now += t.TRP + t.TRCD + t.TCL + t.TBURST
+	}
+	var out uint64
+	if write {
+		c.dev.Write(co.Bank, co.Col, data)
+		out = data
+	} else {
+		out = c.dev.Read(co.Bank, co.Col)
+	}
+	c.Stats.Accesses++
+	c.Stats.BusyTime += c.now - start
+	return out, c.now - start
+}
+
+func (c *Controller) activate(bank, logRow int) {
+	c.dev.Activate(bank, logRow, c.now)
+	c.lastAct[bank] = c.now
+	for _, m := range c.mitigations {
+		m.OnActivate(c, bank, logRow)
+	}
+}
+
+// AdvanceTo moves idle time forward to at least t, servicing refresh
+// on the way. Time never moves backwards.
+func (c *Controller) AdvanceTo(t dram.Time) {
+	if t > c.now {
+		c.now = t
+	}
+	c.serviceRefresh()
+}
+
+// RefreshLogRows refreshes the given logical rows on behalf of a
+// mitigation, charging the targeted-refresh time cost.
+func (c *Controller) RefreshLogRows(bank int, logRows []int) {
+	for _, r := range logRows {
+		if r < 0 || r >= c.cfg.Geom.Rows {
+			continue
+		}
+		c.dev.RefreshLogRow(bank, r, c.now)
+		c.chargeMitRefresh()
+	}
+}
+
+// RefreshPhysRows refreshes the given physical rows on behalf of a
+// DRAM-side mitigation that knows true adjacency.
+func (c *Controller) RefreshPhysRows(bank int, physRows []int) {
+	for _, r := range physRows {
+		if r < 0 || r >= c.cfg.Geom.Rows {
+			continue
+		}
+		c.dev.RefreshPhysRow(bank, r, c.now)
+		c.chargeMitRefresh()
+	}
+}
+
+func (c *Controller) chargeMitRefresh() {
+	c.Stats.MitRefreshes++
+	c.now += c.dev.Timing.TRC
+	c.Stats.MitTime += c.dev.Timing.TRC
+}
+
+// RetentionWindow returns the effective per-row refresh period under
+// the configured multiplier.
+func (c *Controller) RetentionWindow() dram.Time {
+	return dram.Time(float64(c.dev.Timing.RetentionWindow()) / c.cfg.RefreshMultiplier)
+}
+
+// EnergyPJ returns total energy consumed so far: device operation
+// energy plus background power integrated over elapsed time.
+func (c *Controller) EnergyPJ() float64 {
+	elapsedSec := float64(c.now) / float64(dram.Second)
+	return c.dev.Stats.OpEnergyPJ + c.dev.Energy.BackgroundW*elapsedSec*1e12
+}
+
+// String summarizes controller state for logs.
+func (c *Controller) String() string {
+	return fmt.Sprintf("memctrl{t=%dns acc=%d hit=%d conf=%d ref=%d mit=%d}",
+		c.now, c.Stats.Accesses, c.Stats.RowHits, c.Stats.RowConflicts,
+		c.Stats.AutoRefreshes, c.Stats.MitRefreshes)
+}

@@ -1,0 +1,308 @@
+package memctrl
+
+import (
+	"repro/internal/rng"
+	"repro/internal/spd"
+)
+
+// Mitigation is a pluggable RowHammer countermeasure. The controller
+// invokes OnActivate for every row activation it issues and
+// OnAutoRefresh for every REF command; mitigations respond by
+// refreshing rows through the controller, which charges their time and
+// energy costs to the accounting that the countermeasure-comparison
+// experiment (E5) reports.
+type Mitigation interface {
+	// Name identifies the mitigation in result tables.
+	Name() string
+	// OnActivate observes an activation of a logical row.
+	OnActivate(c *Controller, bank, logRow int)
+	// OnAutoRefresh observes one REF command.
+	OnAutoRefresh(c *Controller)
+	// StorageBits returns the mitigation's hardware state cost,
+	// the axis on which the paper rejects the counter-based solution.
+	StorageBits() int64
+}
+
+// Placement says where PARA logic lives, which determines what
+// adjacency information it has. The paper discusses all three.
+type Placement int
+
+const (
+	// InController without SPD info: the controller must assume
+	// logical addresses are physically adjacent, which internal
+	// remapping breaks.
+	InController Placement = iota
+	// InControllerWithSPD: the controller reads the module's SPD
+	// adjacency blob (the ISCA 2014 proposal) and refreshes true
+	// physical neighbours.
+	InControllerWithSPD
+	// InDRAM (or in the logic layer of a 3D-stacked device): the
+	// device knows its own topology natively.
+	InDRAM
+)
+
+// String names the placement for result tables.
+func (p Placement) String() string {
+	switch p {
+	case InController:
+		return "controller(no-SPD)"
+	case InControllerWithSPD:
+		return "controller+SPD"
+	case InDRAM:
+		return "in-DRAM"
+	default:
+		return "unknown"
+	}
+}
+
+// PARA implements Probabilistic Adjacent Row Activation: on each
+// activation, each side of the activated row is refreshed with
+// probability P/2, out to Radius physical rows — disturbance couples
+// (more weakly) to distance-2 victims too, so a radius-1 refresher
+// leaves the distance-2 population exposed. No per-row state is kept;
+// the paper's argument for PARA is exactly this statelessness.
+type PARA struct {
+	// P is the total neighbour-refresh probability per activation.
+	P float64
+	// Where determines the adjacency knowledge available.
+	Where Placement
+	// Oracle is required for InControllerWithSPD.
+	Oracle *spd.AdjacencyOracle
+	// Radius is how many rows on each side a triggered refresh
+	// covers; 2 covers the full observed blast radius.
+	Radius int
+
+	src *rng.Stream
+}
+
+// NewPARA builds a PARA instance with its own random stream and the
+// full blast radius of 2.
+func NewPARA(p float64, where Placement, oracle *spd.AdjacencyOracle, src *rng.Stream) *PARA {
+	return &PARA{P: p, Where: where, Oracle: oracle, Radius: 2, src: src}
+}
+
+// Name implements Mitigation.
+func (p *PARA) Name() string { return "PARA@" + p.Where.String() }
+
+// OnActivate implements Mitigation.
+func (p *PARA) OnActivate(c *Controller, bank, logRow int) {
+	radius := p.Radius
+	if radius < 1 {
+		radius = 1
+	}
+	for side := 0; side < 2; side++ {
+		if !p.src.Bool(p.P / 2) {
+			continue
+		}
+		dir := 1
+		if side == 0 {
+			dir = -1
+		}
+		switch p.Where {
+		case InDRAM:
+			phys := c.Device().PhysRow(logRow)
+			for d := 1; d <= radius; d++ {
+				c.RefreshPhysRows(bank, []int{phys + dir*d})
+			}
+		case InControllerWithSPD:
+			// The oracle returns logical rows whose physical rows
+			// neighbour ours; refresh the ones on this side.
+			phys := c.Device().PhysRow(logRow)
+			for d := 1; d <= radius; d++ {
+				for _, n := range p.Oracle.NeighborsOf(logRow, d) {
+					if c.Device().PhysRow(n)-phys == dir*d {
+						c.RefreshLogRows(bank, []int{n})
+					}
+				}
+			}
+		default: // InController without SPD: assume logical adjacency
+			for d := 1; d <= radius; d++ {
+				c.RefreshLogRows(bank, []int{logRow + dir*d})
+			}
+		}
+	}
+}
+
+// OnAutoRefresh implements Mitigation (PARA needs no refresh hook).
+func (p *PARA) OnAutoRefresh(c *Controller) {}
+
+// StorageBits implements Mitigation: PARA is stateless.
+func (p *PARA) StorageBits() int64 { return 0 }
+
+// CRA implements the counter-based approach the paper attributes to
+// Kim et al. (IEEE CAL 2015): one activation counter per row; when a
+// row's count within a refresh window reaches half the safe threshold,
+// its neighbours are refreshed and the counter resets. Exact — no
+// vulnerability window — but the counter table is the large hardware
+// cost the paper criticizes.
+type CRA struct {
+	// Threshold is the device's minimum hammer count; neighbours are
+	// refreshed when a counter reaches Threshold/2.
+	Threshold int64
+	// CounterBits sizes each counter for the storage estimate.
+	CounterBits int
+
+	counters map[[2]int]int64
+	banks    int
+	rows     int
+	refs     int64 // REF commands seen, for window reset
+}
+
+// NewCRA builds a counter table for the given geometry.
+func NewCRA(threshold int64, banks, rows int) *CRA {
+	return &CRA{
+		Threshold:   threshold,
+		CounterBits: 20,
+		counters:    map[[2]int]int64{},
+		banks:       banks,
+		rows:        rows,
+	}
+}
+
+// Name implements Mitigation.
+func (m *CRA) Name() string { return "CRA(counters)" }
+
+// OnActivate implements Mitigation.
+func (m *CRA) OnActivate(c *Controller, bank, logRow int) {
+	k := [2]int{bank, logRow}
+	m.counters[k]++
+	if m.counters[k] >= m.Threshold/2 {
+		// Refresh true physical neighbours; the CAL 2015 proposal
+		// places the counters in the controller but we grant it
+		// adjacency knowledge so the experiment isolates the storage
+		// cost axis rather than the adjacency axis.
+		phys := c.Device().PhysRow(logRow)
+		c.RefreshPhysRows(bank, []int{phys - 2, phys - 1, phys + 1, phys + 2})
+		m.counters[k] = 0
+	}
+}
+
+// OnAutoRefresh implements Mitigation: counters reset every full
+// refresh window (8192 REFs), since pressure cannot span windows.
+func (m *CRA) OnAutoRefresh(c *Controller) {
+	m.refs++
+	if m.refs%8192 == 0 {
+		m.counters = map[[2]int]int64{}
+	}
+}
+
+// StorageBits implements Mitigation: a full table of per-row counters.
+func (m *CRA) StorageBits() int64 {
+	return int64(m.banks) * int64(m.rows) * int64(m.CounterBits)
+}
+
+// TRR models vendor in-DRAM targeted row refresh: a small sampler
+// captures recently activated row addresses (probabilistically), and
+// each REF additionally refreshes the neighbours of sampled rows. The
+// sampler's limited capacity is what many-sided attacks later
+// exploited (experiment E22 reproduces that bypass).
+type TRR struct {
+	// Entries is the sampler capacity.
+	Entries int
+	// SampleP is the probability an activation is sampled.
+	SampleP float64
+
+	sampler  map[int][2]int // slot -> (bank, physRow)
+	nextSlot int
+	src      *rng.Stream
+}
+
+// NewTRR builds an in-DRAM sampler.
+func NewTRR(entries int, sampleP float64, src *rng.Stream) *TRR {
+	return &TRR{Entries: entries, SampleP: sampleP, sampler: map[int][2]int{}, src: src}
+}
+
+// Name implements Mitigation.
+func (m *TRR) Name() string { return "TRR(in-DRAM)" }
+
+// OnActivate implements Mitigation.
+func (m *TRR) OnActivate(c *Controller, bank, logRow int) {
+	if !m.src.Bool(m.SampleP) {
+		return
+	}
+	// Round-robin eviction: a new sample overwrites the oldest slot.
+	m.sampler[m.nextSlot] = [2]int{bank, c.Device().PhysRow(logRow)}
+	m.nextSlot = (m.nextSlot + 1) % m.Entries
+}
+
+// OnAutoRefresh implements Mitigation: refresh neighbours of all
+// sampled aggressors, then clear the sampler.
+func (m *TRR) OnAutoRefresh(c *Controller) {
+	for _, v := range m.sampler {
+		c.RefreshPhysRows(v[0], []int{v[1] - 2, v[1] - 1, v[1] + 1, v[1] + 2})
+	}
+	m.sampler = map[int][2]int{}
+	m.nextSlot = 0
+}
+
+// StorageBits implements Mitigation: entries * (bank + row address).
+func (m *TRR) StorageBits() int64 { return int64(m.Entries) * 32 }
+
+// ANVIL models the ASPLOS 2016 software defence: it samples the
+// activation stream the way ANVIL samples last-level-cache-miss
+// performance counters (one in SampleRate activations), keeps a short
+// interval histogram, and when one row dominates the samples within an
+// interval it refreshes that row's neighbours (in software: by reading
+// them). Detection is statistical, so both detection latency and false
+// positives are measurable, matching the paper's "promising but
+// intrusive" verdict.
+type ANVIL struct {
+	// SampleRate samples one in this many activations.
+	SampleRate int
+	// IntervalSamples is the analysis window length in samples.
+	IntervalSamples int
+	// HotFraction: a row is flagged if it holds at least this fraction
+	// of the interval's samples.
+	HotFraction float64
+
+	sampleCount int64
+	window      []rowKey
+	Detections  int64
+	flagged     map[rowKey]bool
+}
+
+type rowKey struct{ bank, logRow int }
+
+// NewANVIL builds the detector with ANVIL-like defaults.
+func NewANVIL() *ANVIL {
+	return &ANVIL{SampleRate: 16, IntervalSamples: 256, HotFraction: 0.25,
+		flagged: map[rowKey]bool{}}
+}
+
+// Name implements Mitigation.
+func (m *ANVIL) Name() string { return "ANVIL(sw)" }
+
+// OnActivate implements Mitigation.
+func (m *ANVIL) OnActivate(c *Controller, bank, logRow int) {
+	m.sampleCount++
+	if m.sampleCount%int64(m.SampleRate) != 0 {
+		return
+	}
+	m.window = append(m.window, rowKey{bank, logRow})
+	if len(m.window) < m.IntervalSamples {
+		return
+	}
+	counts := map[rowKey]int{}
+	for _, k := range m.window {
+		counts[k]++
+	}
+	for k, n := range counts {
+		if float64(n) >= m.HotFraction*float64(m.IntervalSamples) {
+			// Software cannot know physical adjacency either; it
+			// touches logical neighbours. (ANVIL used ±1 and ±2.)
+			c.RefreshLogRows(k.bank, []int{k.logRow - 2, k.logRow - 1, k.logRow + 1, k.logRow + 2})
+			m.Detections++
+			m.flagged[k] = true
+		}
+	}
+	m.window = m.window[:0]
+}
+
+// OnAutoRefresh implements Mitigation.
+func (m *ANVIL) OnAutoRefresh(c *Controller) {}
+
+// StorageBits implements Mitigation: software tables, no hardware.
+func (m *ANVIL) StorageBits() int64 { return 0 }
+
+// Flagged reports whether ANVIL ever flagged the given row.
+func (m *ANVIL) Flagged(bank, logRow int) bool { return m.flagged[rowKey{bank, logRow}] }

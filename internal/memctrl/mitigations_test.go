@@ -1,0 +1,251 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/disturb"
+	"repro/internal/dram"
+	"repro/internal/rng"
+	"repro/internal/spd"
+)
+
+// attackRig wires a device with one injected weak cell (victim at
+// physical row 101, aggressors 100/102) behind a controller.
+type attackRig struct {
+	ctrl *Controller
+	dist *disturb.Model
+}
+
+// newAttackRig builds the rig. remapVictim swaps the victim's logical
+// address away from its physical position to model internal repair.
+func newAttackRig(threshold float64, remapVictim bool, cfg Config) *attackRig {
+	g := dram.Geometry{Banks: 1, Rows: 256, Cols: 8}
+	dev := dram.NewDevice(g)
+	if remapVictim {
+		rt := dram.IdentityRemap(g.Rows)
+		// Swap logical 101 <-> 200: physical row 101 is now addressed
+		// by logical row 200.
+		blob := spdSwapTable(rt, 101, 200)
+		dev.SetRemap(blob)
+	}
+	m := disturb.NewModel(g, disturb.Invulnerable(), rng.New(1))
+	// Victim cell in physical row 101, charged value 1, both-side
+	// coupling 1.0 so double-sided hammering counts 2 per pair.
+	m.InjectWeakCell(0, 101, 17, threshold, 1, 1, 1, 1)
+	dev.AttachFault(m)
+	dev.SetPhysBit(0, 101, 17, 1) // charge the victim
+	ctrl := New(dev, cfg)
+	return &attackRig{ctrl: ctrl, dist: m}
+}
+
+func spdSwapTable(rt *dram.RemapTable, a, b int) *dram.RemapTable {
+	phys := rt.PhysSlice()
+	phys[a], phys[b] = phys[b], phys[a]
+	out, err := dram.RemapFromPhysSlice(phys)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// hammerPairs performs n double-sided hammer pairs on logical rows
+// 100 and 102.
+func (r *attackRig) hammerPairs(n int) {
+	for i := 0; i < n; i++ {
+		r.ctrl.AccessCoord(Coord{Bank: 0, Row: 100, Col: 0}, false, 0)
+		r.ctrl.AccessCoord(Coord{Bank: 0, Row: 102, Col: 0}, false, 0)
+	}
+}
+
+func (r *attackRig) victimFlipped() bool {
+	return r.ctrl.Device().PhysBit(0, 101, 17) != 1
+}
+
+func TestHammerThroughControllerFlips(t *testing.T) {
+	rig := newAttackRig(2000, false, Config{})
+	rig.hammerPairs(3000)
+	if !rig.victimFlipped() {
+		t.Fatal("unmitigated double-sided hammering did not flip the victim")
+	}
+}
+
+func TestAutoRefreshAloneInsufficient(t *testing.T) {
+	// The nominal refresh rate cannot stop a fast hammer: threshold
+	// 2000 pairs is reached in ~2000*2*~50ns = 200 us << 64 ms window.
+	rig := newAttackRig(2000, false, Config{RefreshMultiplier: 1})
+	rig.hammerPairs(3000)
+	if !rig.victimFlipped() {
+		t.Fatal("expected flip under nominal refresh")
+	}
+}
+
+func TestHighRefreshMultiplierPrevents(t *testing.T) {
+	// Make the threshold high enough that a strongly increased refresh
+	// rate resets pressure in time. Window/multiplier must sweep the
+	// victim before ~threshold pairs complete. With threshold 500k
+	// pairs (~50 ms of hammering) a 4x refresh (16 ms window) wins.
+	rig := newAttackRig(1e6, false, Config{RefreshMultiplier: 4})
+	rig.hammerPairs(600000)
+	if rig.victimFlipped() {
+		t.Fatal("4x refresh did not prevent a 1M-threshold flip")
+	}
+}
+
+func TestPARAInDRAMPrevents(t *testing.T) {
+	rig := newAttackRig(2000, false, Config{})
+	rig.ctrl.Attach(NewPARA(0.02, InDRAM, nil, rng.New(5)))
+	rig.hammerPairs(50000)
+	if rig.victimFlipped() {
+		t.Fatal("PARA in DRAM failed to prevent flip")
+	}
+	if rig.ctrl.Stats.MitRefreshes == 0 {
+		t.Fatal("PARA never refreshed a neighbour")
+	}
+}
+
+func TestPARAControllerNoSPDWorksWithoutRemap(t *testing.T) {
+	rig := newAttackRig(2000, false, Config{})
+	rig.ctrl.Attach(NewPARA(0.02, InController, nil, rng.New(6)))
+	rig.hammerPairs(50000)
+	if rig.victimFlipped() {
+		t.Fatal("controller-side PARA failed on identity-mapped device")
+	}
+}
+
+func TestPARAControllerNoSPDFailsUnderRemap(t *testing.T) {
+	// Physical victim 101 is logically addressed as 200. PARA without
+	// SPD refreshes logical 99/101/103, whose physical rows are 99,
+	// 200(!), 103 — never the true victim. The flip must occur: this
+	// is the paper's argument for exposing adjacency via SPD.
+	rig := newAttackRig(2000, true, Config{})
+	rig.ctrl.Attach(NewPARA(0.05, InController, nil, rng.New(7)))
+	rig.hammerPairs(5000)
+	if !rig.victimFlipped() {
+		t.Fatal("PARA without SPD unexpectedly protected a remapped victim")
+	}
+}
+
+func TestPARAControllerWithSPDWorksUnderRemap(t *testing.T) {
+	rig := newAttackRig(2000, true, Config{})
+	blob := spd.Encode(rig.ctrl.Device().Remap())
+	rt, err := spd.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.ctrl.Attach(NewPARA(0.02, InControllerWithSPD, spd.NewOracle(rt), rng.New(8)))
+	rig.hammerPairs(50000)
+	if rig.victimFlipped() {
+		t.Fatal("PARA with SPD adjacency failed under remap")
+	}
+}
+
+func TestCRAPrevents(t *testing.T) {
+	rig := newAttackRig(2000, false, Config{})
+	rig.ctrl.Attach(NewCRA(2000, 1, 256))
+	rig.hammerPairs(50000)
+	if rig.victimFlipped() {
+		t.Fatal("CRA failed to prevent flip")
+	}
+}
+
+func TestCRAStorageCost(t *testing.T) {
+	cra := NewCRA(100000, 8, 65536)
+	if cra.StorageBits() != 8*65536*20 {
+		t.Fatalf("storage = %d bits", cra.StorageBits())
+	}
+	para := NewPARA(0.001, InDRAM, nil, rng.New(1))
+	if para.StorageBits() != 0 {
+		t.Fatal("PARA must be stateless")
+	}
+}
+
+func TestTRRPreventsDoubleSided(t *testing.T) {
+	rig := newAttackRig(20000, false, Config{})
+	rig.ctrl.Attach(NewTRR(4, 0.01, rng.New(9)))
+	rig.hammerPairs(200000)
+	if rig.victimFlipped() {
+		t.Fatal("TRR failed against a two-aggressor attack")
+	}
+}
+
+func TestTRRBypassedByManySided(t *testing.T) {
+	// A many-sided pattern with far more aggressors than sampler
+	// entries dilutes sampling enough that some victim sees full
+	// pressure. Build 20 aggressor pairs around 20 victims and a tiny
+	// sampler that refreshes only what it caught.
+	g := dram.Geometry{Banks: 1, Rows: 256, Cols: 8}
+	dev := dram.NewDevice(g)
+	m := disturb.NewModel(g, disturb.Invulnerable(), rng.New(2))
+	victims := []int{}
+	for v := 20; v <= 210; v += 10 {
+		m.InjectWeakCell(0, v, 3, 1500, 1, 1, 1, 1)
+		victims = append(victims, v)
+	}
+	dev.AttachFault(m)
+	for _, v := range victims {
+		dev.SetPhysBit(0, v, 3, 1)
+	}
+	ctrl := New(dev, Config{})
+	ctrl.Attach(NewTRR(2, 0.005, rng.New(10)))
+	for i := 0; i < 4000; i++ {
+		for _, v := range victims {
+			ctrl.AccessCoord(Coord{Bank: 0, Row: v - 1, Col: 0}, false, 0)
+			ctrl.AccessCoord(Coord{Bank: 0, Row: v + 1, Col: 0}, false, 0)
+		}
+	}
+	flipped := 0
+	for _, v := range victims {
+		if dev.PhysBit(0, v, 3) != 1 {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("many-sided attack failed to bypass a 2-entry TRR sampler")
+	}
+}
+
+func TestANVILDetectsHammering(t *testing.T) {
+	rig := newAttackRig(1e12, false, Config{}) // threshold unreachable; we test detection only
+	anvil := NewANVIL()
+	rig.ctrl.Attach(anvil)
+	rig.hammerPairs(20000)
+	if anvil.Detections == 0 {
+		t.Fatal("ANVIL never detected the hammer pattern")
+	}
+	if !anvil.Flagged(0, 100) && !anvil.Flagged(0, 102) {
+		t.Fatal("ANVIL flagged neither aggressor row")
+	}
+}
+
+func TestANVILQuietOnUniformTraffic(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 256, Cols: 8}
+	dev := dram.NewDevice(g)
+	ctrl := New(dev, Config{})
+	anvil := NewANVIL()
+	ctrl.Attach(anvil)
+	src := rng.New(11)
+	for i := 0; i < 50000; i++ {
+		ctrl.AccessCoord(Coord{Bank: 0, Row: src.Intn(256), Col: 0}, false, 0)
+	}
+	if anvil.Detections != 0 {
+		t.Fatalf("ANVIL false-positived %d times on uniform traffic", anvil.Detections)
+	}
+}
+
+func TestMitigationNames(t *testing.T) {
+	src := rng.New(1)
+	names := map[string]bool{}
+	for _, m := range []Mitigation{
+		NewPARA(0.01, InController, nil, src),
+		NewPARA(0.01, InControllerWithSPD, nil, src),
+		NewPARA(0.01, InDRAM, nil, src),
+		NewCRA(1000, 1, 10),
+		NewTRR(4, 0.01, src),
+		NewANVIL(),
+	} {
+		if m.Name() == "" || names[m.Name()] {
+			t.Fatalf("duplicate or empty mitigation name %q", m.Name())
+		}
+		names[m.Name()] = true
+	}
+}

@@ -1,0 +1,159 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestArrayFailsAtEndurance(t *testing.T) {
+	a := NewArray(4, 100, 0, rng.New(1))
+	for i := 0; i < 100; i++ {
+		if !a.WritePhys(0) {
+			t.Fatalf("failed early at write %d", i)
+		}
+	}
+	if a.WritePhys(0) {
+		t.Fatal("write beyond endurance succeeded")
+	}
+	if !a.Failed() {
+		t.Fatal("array not marked failed")
+	}
+	if a.WritePhys(1) {
+		t.Fatal("failed array accepted writes")
+	}
+}
+
+func TestEnduranceVariation(t *testing.T) {
+	a := NewArray(1000, 1e6, 0.2, rng.New(2))
+	lo, hi := a.endurance[0], a.endurance[0]
+	for _, e := range a.endurance {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if lo == hi {
+		t.Fatal("no endurance variation with cov 0.2")
+	}
+	if lo < 1e5 {
+		t.Fatalf("endurance floor breached: %d", lo)
+	}
+}
+
+func TestStartGapMapIsBijection(t *testing.T) {
+	sg := NewStartGap(17, 10)
+	a := NewArray(17, 1e9, 0, rng.New(3))
+	check := func() {
+		seen := map[int]bool{}
+		for l := 0; l < 16; l++ {
+			p := sg.Map(l)
+			if p < 0 || p > 16 {
+				t.Fatalf("phys %d out of range", p)
+			}
+			if p == sg.gap {
+				t.Fatalf("logical %d mapped onto the gap", l)
+			}
+			if seen[p] {
+				t.Fatalf("physical line %d mapped twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	check()
+	// Drive many writes to rotate the gap through several full turns.
+	for i := 0; i < 17*10*40; i++ {
+		a.WritePhys(sg.Map(i % 16))
+		sg.OnWrite(a)
+		if i%53 == 0 {
+			check()
+		}
+	}
+	check()
+	if sg.start == 0 && sg.gap == 16 {
+		t.Fatal("mapping never rotated")
+	}
+}
+
+func TestStartGapRotationMovesHotLine(t *testing.T) {
+	sg := NewStartGap(101, 10)
+	a := NewArray(101, 1e9, 0, rng.New(4))
+	first := sg.Map(50)
+	for i := 0; i < 101*10*2; i++ {
+		a.WritePhys(sg.Map(50))
+		sg.OnWrite(a)
+	}
+	if sg.Map(50) == first {
+		t.Fatal("hot logical line still on its original physical line after full rotations")
+	}
+}
+
+func TestDirectMapperIdentity(t *testing.T) {
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw)
+		return Direct{}.Map(n) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttackKillsDirectQuickly(t *testing.T) {
+	src := rng.New(5)
+	a := NewArray(256, 1e5, 0.1, src)
+	res := RunWriteAttack(a, Direct{}, 7, 1e9)
+	// Without leveling the attack dies at roughly one line's
+	// endurance.
+	if res.WritesToFailure > 2e5 {
+		t.Fatalf("direct mapping survived %d writes", res.WritesToFailure)
+	}
+}
+
+func TestStartGapExtendsAttackLifetime(t *testing.T) {
+	src := rng.New(6)
+	direct := RunWriteAttack(NewArray(256, 1e5, 0.1, src.Split()), Direct{}, 7, 1e10)
+	sg := NewStartGap(256, 100)
+	leveled := RunWriteAttack(NewArray(256, 1e5, 0.1, src.Split()), sg, 7, 1e10)
+	if leveled.WritesToFailure < 10*direct.WritesToFailure {
+		t.Fatalf("start-gap lifetime %d not >> direct %d",
+			leveled.WritesToFailure, direct.WritesToFailure)
+	}
+	// But far from the ideal bound: under attack, start-gap still
+	// concentrates wear within one rotation region.
+	if leveled.WritesToFailure >= leveled.IdealWrites {
+		t.Fatal("start-gap under attack should not reach the ideal bound")
+	}
+}
+
+func TestRandomizationComposes(t *testing.T) {
+	src := rng.New(7)
+	inner := NewStartGap(256, 100)
+	r := NewRandomized(inner, 255, src)
+	if r.Name() != "start-gap+random" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	a := NewArray(256, 1e5, 0.1, src.Split())
+	res := RunWriteAttack(a, r, 7, 1e10)
+	if res.WritesToFailure < 1e6 {
+		t.Fatalf("randomized start-gap died after only %d writes", res.WritesToFailure)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStartGap(1, 10) },
+		func() { NewStartGap(10, 0) },
+		func() { NewStartGap(10, 5).Map(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

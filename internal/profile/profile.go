@@ -1,0 +1,124 @@
+// Package profile implements controller-driven online DRAM retention
+// profiling — the system-memory co-design capability the paper argues
+// an intelligent memory controller should have. The profiler writes
+// test patterns, pauses refresh for a chosen test interval (usually a
+// multiple of the nominal window, to build margin), and reads back to
+// find weak cells. The experiments built on it reproduce the paper's
+// central claim about retention testing: data-pattern-dependent cells
+// are missed by the wrong pattern, and VRT cells can escape any finite
+// profiling campaign.
+package profile
+
+import (
+	"repro/internal/dram"
+)
+
+// CellKey identifies a cell by physical location.
+type CellKey struct {
+	Bank, PhysRow, Bit int
+}
+
+// Pattern is one test data configuration: the value written to victim
+// rows and to their neighbouring rows.
+type Pattern struct {
+	Name     string
+	Victim   uint64
+	Neighbor uint64
+}
+
+// StandardPatterns returns the classic profiling pattern battery.
+// Solid patterns test cells against quiet neighbours; stripes engage
+// data-pattern-dependent coupling; checkers mix both within a word.
+func StandardPatterns() []Pattern {
+	return []Pattern{
+		{"solid1", ^uint64(0), ^uint64(0)},
+		{"solid0", 0, 0},
+		{"rowstripe", ^uint64(0), 0},
+		{"rowstripe-inv", 0, ^uint64(0)},
+		{"checker", 0xaaaaaaaaaaaaaaaa, 0x5555555555555555},
+		{"checker-inv", 0x5555555555555555, 0xaaaaaaaaaaaaaaaa},
+	}
+}
+
+// SolidOnly returns the naive pattern set a weak profiler would use.
+func SolidOnly() []Pattern {
+	return []Pattern{
+		{"solid1", ^uint64(0), ^uint64(0)},
+		{"solid0", 0, 0},
+	}
+}
+
+// Profiler drives profiling passes over one bank of a device. It owns
+// the simulated clock while profiling (refresh is suspended, exactly
+// as a controller-driven profiling pass would fence off a region).
+type Profiler struct {
+	dev   *dram.Device
+	bank  int
+	clock dram.Time
+}
+
+// New creates a profiler starting at the given simulated time.
+func New(dev *dram.Device, bank int, start dram.Time) *Profiler {
+	return &Profiler{dev: dev, bank: bank, clock: start}
+}
+
+// Clock returns the profiler's current simulated time.
+func (p *Profiler) Clock() dram.Time { return p.clock }
+
+// RunPattern executes one pattern at one test interval and returns the
+// weak cells it caught. Two sub-passes alternate the victim parity so
+// every row is profiled as a victim against the neighbour value.
+func (p *Profiler) RunPattern(pat Pattern, interval dram.Time) map[CellKey]bool {
+	found := map[CellKey]bool{}
+	rows := p.dev.Geom.Rows
+	cols := p.dev.Geom.Cols
+	for parity := 0; parity < 2; parity++ {
+		// Fill: victims hold pat.Victim, others pat.Neighbor.
+		for r := 0; r < rows; r++ {
+			if r%2 == parity {
+				p.dev.FillPhysRow(p.bank, r, pat.Victim)
+			} else {
+				p.dev.FillPhysRow(p.bank, r, pat.Neighbor)
+			}
+		}
+		// Reset every row's retention clock at the fill instant.
+		for r := 0; r < rows; r++ {
+			p.dev.RefreshPhysRow(p.bank, r, p.clock)
+		}
+		// Pause refresh for the test interval, then refresh, which
+		// applies and locks in any decay.
+		p.clock += interval
+		for r := 0; r < rows; r++ {
+			p.dev.RefreshPhysRow(p.bank, r, p.clock)
+		}
+		// Read back victims and record deviations.
+		for r := parity; r < rows; r += 2 {
+			words := p.dev.PhysRowWords(p.bank, r)
+			for w := 0; w < cols; w++ {
+				diff := words[w] ^ pat.Victim
+				for bit := 0; bit < 64 && diff != 0; bit++ {
+					if (diff>>uint(bit))&1 == 1 {
+						found[CellKey{p.bank, r, w*64 + bit}] = true
+						diff &^= 1 << uint(bit)
+					}
+				}
+			}
+		}
+	}
+	return found
+}
+
+// Campaign runs the full battery: every pattern, repeated rounds
+// times, at the given test interval. More rounds catch more VRT cells
+// (they must be caught in their short state).
+func (p *Profiler) Campaign(patterns []Pattern, interval dram.Time, rounds int) map[CellKey]bool {
+	found := map[CellKey]bool{}
+	for r := 0; r < rounds; r++ {
+		for _, pat := range patterns {
+			for k := range p.RunPattern(pat, interval) {
+				found[k] = true
+			}
+		}
+	}
+	return found
+}

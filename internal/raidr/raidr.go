@@ -1,0 +1,117 @@
+// Package raidr implements RAIDR-style multi-rate refresh (Liu et
+// al., ISCA 2012, reference [68] of the paper): rows whose weakest
+// cell retains data comfortably beyond the nominal 64 ms window are
+// refreshed at a multiple of the window, eliminating most refresh
+// operations. The paper cites RAIDR both as the motivation for why
+// refresh matters ("DRAM refresh is already a significant burden")
+// and as the kind of mechanism an intelligent memory controller
+// enables.
+//
+// The package also quantifies the security interaction the paper's
+// framing implies but no one had measured in 2017: slowing refresh
+// for "strong" rows proportionally extends the RowHammer window of
+// every victim in those rows, lowering the effective activation count
+// an attacker needs per refresh epoch.
+package raidr
+
+import (
+	"repro/internal/dram"
+)
+
+// Bin is a refresh-rate bin.
+type Bin struct {
+	// Multiple is the refresh period in units of the nominal window
+	// (1 = 64 ms, 4 = 256 ms, ...).
+	Multiple int
+}
+
+// Plan assigns every row of a bank to a bin.
+type Plan struct {
+	// BinOf maps physical row -> bin index.
+	BinOf []int
+	// Bins is the bin table, sorted fastest first; bin 0 must have
+	// Multiple 1 (the safety bin for known-weak rows).
+	Bins []Bin
+}
+
+// NewPlan builds a plan that places the given weak rows in bin 0
+// (nominal rate) and everything else in a single slow bin.
+func NewPlan(rows int, weakRows map[int]bool, slowMultiple int) *Plan {
+	p := &Plan{
+		BinOf: make([]int, rows),
+		Bins:  []Bin{{Multiple: 1}, {Multiple: slowMultiple}},
+	}
+	for r := 0; r < rows; r++ {
+		if !weakRows[r] {
+			p.BinOf[r] = 1
+		}
+	}
+	return p
+}
+
+// RefreshOpsPerWindow returns how many row refreshes one nominal
+// window costs under the plan, versus the all-nominal baseline.
+func (p *Plan) RefreshOpsPerWindow() (planned, baseline float64) {
+	baseline = float64(len(p.BinOf))
+	for _, b := range p.BinOf {
+		planned += 1 / float64(p.Bins[b].Multiple)
+	}
+	return planned, baseline
+}
+
+// SavedFraction returns the fraction of refresh operations the plan
+// eliminates.
+func (p *Plan) SavedFraction() float64 {
+	planned, baseline := p.RefreshOpsPerWindow()
+	return 1 - planned/baseline
+}
+
+// HammerExposureMultiplier returns, for a physical row, how much
+// longer its refresh period is than nominal — which is exactly the
+// factor by which an attacker's per-epoch activation budget against
+// victims in that row grows.
+func (p *Plan) HammerExposureMultiplier(physRow int) int {
+	return p.Bins[p.BinOf[physRow]].Multiple
+}
+
+// Engine drives a device's refresh according to a plan. It replaces
+// the controller's uniform auto-refresh for retention experiments
+// that need per-row schedules.
+type Engine struct {
+	dev    *dram.Device
+	bank   int
+	plan   *Plan
+	window dram.Time
+	// epoch counts nominal windows completed.
+	epoch int64
+	// Ops counts row refresh operations issued.
+	Ops int64
+}
+
+// NewEngine creates an engine over one bank.
+func NewEngine(dev *dram.Device, bank int, plan *Plan, window dram.Time) *Engine {
+	return &Engine{dev: dev, bank: bank, plan: plan, window: window}
+}
+
+// Step advances one nominal window ending at time `end`: every row
+// whose bin is due this epoch is refreshed.
+func (e *Engine) Step(end dram.Time) {
+	e.epoch++
+	for r, b := range e.plan.BinOf {
+		if e.epoch%int64(e.plan.Bins[b].Multiple) == 0 {
+			e.dev.RefreshPhysRow(e.bank, r, end)
+			e.Ops++
+		}
+	}
+}
+
+// RunWindows advances n nominal windows starting at time start and
+// returns the end time.
+func (e *Engine) RunWindows(n int, start dram.Time) dram.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		now += e.window
+		e.Step(now)
+	}
+	return now
+}

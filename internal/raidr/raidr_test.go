@@ -1,0 +1,111 @@
+package raidr
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/retention"
+	"repro/internal/rng"
+)
+
+func TestPlanSavings(t *testing.T) {
+	weak := map[int]bool{3: true, 7: true}
+	p := NewPlan(100, weak, 8)
+	// 2 rows at rate 1, 98 rows at rate 1/8.
+	planned, baseline := p.RefreshOpsPerWindow()
+	if baseline != 100 {
+		t.Fatalf("baseline = %v", baseline)
+	}
+	want := 2 + 98.0/8
+	if planned != want {
+		t.Fatalf("planned = %v, want %v", planned, want)
+	}
+	if s := p.SavedFraction(); s < 0.85 || s > 0.86 {
+		t.Fatalf("saved = %v", s)
+	}
+}
+
+func TestExposureMultiplier(t *testing.T) {
+	p := NewPlan(10, map[int]bool{0: true}, 4)
+	if p.HammerExposureMultiplier(0) != 1 {
+		t.Fatal("weak row exposure should be nominal")
+	}
+	if p.HammerExposureMultiplier(5) != 4 {
+		t.Fatal("strong row exposure should equal the slow multiple")
+	}
+}
+
+func TestEngineRefreshSchedule(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 16, Cols: 2}
+	dev := dram.NewDevice(g)
+	plan := NewPlan(16, map[int]bool{1: true}, 4)
+	window := 64 * dram.Millisecond
+	e := NewEngine(dev, 0, plan, window)
+	e.RunWindows(8, 0)
+	// Weak row 1: refreshed 8 times; strong rows: 2 times (epochs 4, 8).
+	wantOps := int64(8 + 15*2)
+	if e.Ops != wantOps {
+		t.Fatalf("ops = %d, want %d", e.Ops, wantOps)
+	}
+	if dev.LastRestore(0, 1) != 8*window {
+		t.Fatal("weak row not refreshed at final window")
+	}
+}
+
+func TestEnginePreventsWeakRowDecay(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 256, Cols: 4}
+	dev := dram.NewDevice(g)
+	p := retention.Params{
+		WeakFraction: 0.002,
+		MedianSec:    0.15, // fails beyond ~2 nominal windows
+		Sigma:        0.1,
+		MinSec:       0.08,
+		VRTRatio:     1, VRTDwellSec: 1,
+		TemperatureC: 45,
+	}
+	m := retention.NewModel(g, p, rng.New(1))
+	dev.AttachFault(m)
+	// Oracle plan: rows containing weak cells go to bin 0.
+	weakRows := map[int]bool{}
+	for _, c := range m.Cells() {
+		weakRows[c.PhysRow] = true
+		dev.SetPhysBit(c.Bank, c.PhysRow, c.Bit, c.ChargedVal)
+	}
+	window := 64 * dram.Millisecond
+	e := NewEngine(dev, 0, NewPlan(256, weakRows, 8), window)
+	e.RunWindows(64, 0)
+	if m.Decays() != 0 {
+		t.Fatalf("oracle RAIDR plan decayed %d cells", m.Decays())
+	}
+	if e.Ops >= 64*256 {
+		t.Fatal("no refresh savings over all-nominal")
+	}
+}
+
+func TestEngineMisbinnedRowDecays(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 64, Cols: 4}
+	dev := dram.NewDevice(g)
+	p := retention.Params{
+		WeakFraction: 0.05,
+		MedianSec:    0.15,
+		Sigma:        0.1,
+		MinSec:       0.08,
+		VRTRatio:     1, VRTDwellSec: 1,
+		TemperatureC: 45,
+	}
+	m := retention.NewModel(g, p, rng.New(2))
+	dev.AttachFault(m)
+	for _, c := range m.Cells() {
+		dev.SetPhysBit(c.Bank, c.PhysRow, c.Bit, c.ChargedVal)
+	}
+	if m.WeakCellCount() == 0 {
+		t.Skip("no weak cells")
+	}
+	// Empty weak set: every row slow — the escape scenario E11 warns
+	// about.
+	e := NewEngine(dev, 0, NewPlan(64, nil, 8), 64*dram.Millisecond)
+	e.RunWindows(64, 0)
+	if m.Decays() == 0 {
+		t.Fatal("misbinned weak rows did not decay at 8x window")
+	}
+}

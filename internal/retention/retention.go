@@ -1,0 +1,290 @@
+// Package retention implements the DRAM data-retention fault model:
+// each cell's charge leaks over time and decays to the cell's
+// discharged value if the cell is not refreshed within its individual
+// retention time. The model reproduces the three phenomena the paper
+// identifies as the reason retention testing is fundamentally hard:
+//
+//   - A heavy-tailed distribution of per-cell retention times, with a
+//     small weak tail near the refresh window.
+//   - Data-pattern dependence (DPD): a weak cell's retention time
+//     drops when neighbouring rows hold adversarial data, so a
+//     profiling pass with the wrong pattern misses the cell.
+//   - Variable retention time (VRT): some cells toggle between a
+//     high-retention and a low-retention state under a memoryless
+//     (exponential-dwell) random process, so no finite profiling
+//     campaign can guarantee observing the low state.
+//
+// Decay is evaluated lazily: whenever a row's charge is restored
+// (activation or refresh), the model first checks which of the row's
+// weak cells expired during the elapsed interval and discharges them;
+// the restore then locks in the wrong value, exactly as a real sense
+// amplifier would.
+package retention
+
+import (
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/rng"
+)
+
+// Params calibrates the retention behaviour of one device.
+type Params struct {
+	// WeakFraction is the fraction of cells with retention time inside
+	// the modelled window (the rest retain for effectively forever at
+	// the timescales simulated).
+	WeakFraction float64
+	// MedianSec/Sigma parameterize the lognormal distribution of weak
+	// cell retention times, in seconds.
+	MedianSec float64
+	Sigma     float64
+	// MinSec floors sampled retention times. Manufacturers screen
+	// cells that fail at the nominal 64 ms window, so the floor sits
+	// just above it.
+	MinSec float64
+	// DPDFraction is the fraction of weak cells that are data-pattern
+	// dependent; DPDReduction multiplies their retention time when a
+	// physically adjacent row holds the cell's anti-charge value in
+	// the same column.
+	DPDFraction  float64
+	DPDReduction float64
+	// VRTFraction is the fraction of weak cells exhibiting variable
+	// retention time; VRTRatio multiplies retention in the long state;
+	// VRTDwellSec is the mean exponential dwell time in the short
+	// (leaky) state. VRTLongDwellSec, when non-zero, sets a different
+	// mean dwell for the long state — real VRT cells spend most of
+	// their time retentive, which is exactly why testing misses them.
+	// Zero means symmetric dwell.
+	VRTFraction     float64
+	VRTRatio        float64
+	VRTDwellSec     float64
+	VRTLongDwellSec float64
+	// TemperatureC scales all retention times by the classic
+	// halving-per-10-degrees rule around 45 C.
+	TemperatureC float64
+}
+
+// DefaultParams returns retention behaviour typical of the modern
+// chips characterized in the ISCA 2013 study: a sparse weak tail, a
+// third of weak cells DPD-sensitive, and a small VRT population.
+func DefaultParams() Params {
+	return Params{
+		WeakFraction: 2e-5,
+		MedianSec:    2.0,
+		Sigma:        0.8,
+		MinSec:       0.07,
+		DPDFraction:  0.35,
+		DPDReduction: 0.45,
+		VRTFraction:  0.15,
+		VRTRatio:     6.0,
+		VRTDwellSec:  30,
+		TemperatureC: 45,
+	}
+}
+
+type weakCell struct {
+	bank, physRow, bit int
+	baseSec            float64
+	chargedVal         uint64
+	dpd                bool
+	vrt                bool
+	vrtLong            bool      // current VRT state
+	vrtNext            dram.Time // next state toggle
+}
+
+// Model is a dram.FaultModel implementing retention decay.
+type Model struct {
+	params    Params
+	geom      dram.Geometry
+	byRow     map[[2]int][]*weakCell
+	cells     []*weakCell
+	src       *rng.Stream
+	decays    int64
+	tempScale float64
+}
+
+var _ dram.FaultModel = (*Model)(nil)
+
+// NewModel samples the weak-cell population for the given geometry.
+func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
+	m := &Model{
+		params:    p,
+		geom:      geom,
+		byRow:     map[[2]int][]*weakCell{},
+		src:       src,
+		tempScale: math.Pow(2, -(p.TemperatureC-45)/10),
+	}
+	if p.WeakFraction <= 0 {
+		return m
+	}
+	n := src.Binomial(geom.TotalCells(), p.WeakFraction)
+	seen := make(map[[3]int]bool, n)
+	for i := int64(0); i < n; i++ {
+		wc := &weakCell{
+			bank:    src.Intn(geom.Banks),
+			physRow: src.Intn(geom.Rows),
+			bit:     src.Intn(geom.BitsPerRow()),
+			baseSec: math.Max(p.MinSec, src.LogNormal(math.Log(p.MedianSec), p.Sigma)),
+			dpd:     src.Bool(p.DPDFraction),
+			vrt:     src.Bool(p.VRTFraction),
+		}
+		pos := [3]int{wc.bank, wc.physRow, wc.bit}
+		if seen[pos] {
+			continue // a cell has one set of physics; drop duplicates
+		}
+		seen[pos] = true
+		if src.Bool(0.5) {
+			wc.chargedVal = 1
+		}
+		if wc.vrt {
+			// Start in the stationary distribution of the two-state
+			// process.
+			long := p.VRTLongDwellSec
+			if long <= 0 {
+				long = p.VRTDwellSec
+			}
+			wc.vrtLong = src.Bool(long / (long + p.VRTDwellSec))
+			wc.vrtNext = secToTime(src.Exponential(m.dwellFor(wc.vrtLong)))
+		}
+		m.cells = append(m.cells, wc)
+		k := [2]int{wc.bank, wc.physRow}
+		m.byRow[k] = append(m.byRow[k], wc)
+	}
+	return m
+}
+
+func secToTime(s float64) dram.Time {
+	return dram.Time(s * float64(dram.Second))
+}
+
+// timeToSec converts simulated time to seconds.
+func timeToSec(t dram.Time) float64 { return float64(t) / float64(dram.Second) }
+
+// Name implements dram.FaultModel.
+func (m *Model) Name() string { return "retention" }
+
+// OnActivate implements dram.FaultModel.
+func (m *Model) OnActivate(d *dram.Device, bank, physRow int, now dram.Time) {
+	m.applyDecay(d, bank, physRow, now)
+}
+
+// OnRefresh implements dram.FaultModel.
+func (m *Model) OnRefresh(d *dram.Device, bank, physRow int, now dram.Time) {
+	m.applyDecay(d, bank, physRow, now)
+}
+
+func (m *Model) applyDecay(d *dram.Device, bank, physRow int, now dram.Time) {
+	cells := m.byRow[[2]int{bank, physRow}]
+	if len(cells) == 0 {
+		return
+	}
+	last := d.LastRestore(bank, physRow)
+	if now <= last {
+		return
+	}
+	elapsed := timeToSec(now - last)
+	for _, wc := range cells {
+		ret := wc.baseSec * m.tempScale
+		if wc.vrt {
+			m.advanceVRT(wc, now)
+			if wc.vrtLong {
+				ret *= m.params.VRTRatio
+			}
+		}
+		if wc.dpd && m.neighborAdversarial(d, wc) {
+			ret *= m.params.DPDReduction
+		}
+		if elapsed > ret && d.PhysBit(bank, physRow, wc.bit) == wc.chargedVal {
+			d.SetPhysBit(bank, physRow, wc.bit, 1-wc.chargedVal)
+			m.decays++
+		}
+	}
+}
+
+// dwellFor returns the mean dwell of the given VRT state.
+func (m *Model) dwellFor(long bool) float64 {
+	if long && m.params.VRTLongDwellSec > 0 {
+		return m.params.VRTLongDwellSec
+	}
+	return m.params.VRTDwellSec
+}
+
+// advanceVRT lazily evolves the two-state VRT process up to time now.
+// Dwell times are exponential, so the process is memoryless and the
+// per-toggle sampling order keeps the simulation deterministic.
+func (m *Model) advanceVRT(wc *weakCell, now dram.Time) {
+	for wc.vrtNext < now {
+		wc.vrtLong = !wc.vrtLong
+		wc.vrtNext += secToTime(m.src.Exponential(m.dwellFor(wc.vrtLong)))
+	}
+}
+
+// neighborAdversarial reports whether either physically adjacent row
+// holds the cell's discharged value in the same column, the condition
+// under which coupling shortens retention.
+func (m *Model) neighborAdversarial(d *dram.Device, wc *weakCell) bool {
+	for _, nr := range []int{wc.physRow - 1, wc.physRow + 1} {
+		if nr < 0 || nr >= m.geom.Rows {
+			continue
+		}
+		if d.PhysBit(wc.bank, nr, wc.bit) != wc.chargedVal {
+			return true
+		}
+	}
+	return false
+}
+
+// WeakCellCount returns the number of weak cells sampled.
+func (m *Model) WeakCellCount() int { return len(m.cells) }
+
+// Decays returns the number of decay events applied.
+func (m *Model) Decays() int64 { return m.decays }
+
+// ResetCounters zeroes the decay counter.
+func (m *Model) ResetCounters() { m.decays = 0 }
+
+// CellInfo describes one weak cell for profiling-coverage experiments.
+type CellInfo struct {
+	Bank, PhysRow, Bit int
+	BaseSec            float64
+	ChargedVal         uint64
+	DPD                bool
+	VRT                bool
+}
+
+// Cells enumerates the weak-cell population (ground truth available to
+// experiments but, by construction, not to the profiling engine).
+func (m *Model) Cells() []CellInfo {
+	out := make([]CellInfo, 0, len(m.cells))
+	for _, wc := range m.cells {
+		out = append(out, CellInfo{
+			Bank: wc.bank, PhysRow: wc.physRow, Bit: wc.bit,
+			BaseSec: wc.baseSec, ChargedVal: wc.chargedVal,
+			DPD: wc.dpd, VRT: wc.vrt,
+		})
+	}
+	return out
+}
+
+// FractionFailingAt returns the expected fraction of all cells that
+// decay within a refresh interval of t seconds under worst-case data
+// pattern, the analytic form used by fleet-scale experiments.
+func (p Params) FractionFailingAt(tSec float64) float64 {
+	if p.WeakFraction <= 0 || tSec <= 0 {
+		return 0
+	}
+	// Worst-case pattern engages DPD for DPD cells, shortening their
+	// effective retention by DPDReduction; mix the two CDFs.
+	mu := math.Log(p.MedianSec)
+	plain := logNormalCDF(tSec, mu, p.Sigma)
+	dpd := logNormalCDF(tSec/p.DPDReduction, mu, p.Sigma)
+	frac := (1-p.DPDFraction)*plain + p.DPDFraction*dpd
+	return p.WeakFraction * frac
+}
+
+func logNormalCDF(x, mu, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-mu)/(sigma*math.Sqrt2)))
+}

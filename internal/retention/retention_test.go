@@ -1,0 +1,287 @@
+package retention
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/rng"
+)
+
+func denseParams() Params {
+	return Params{
+		WeakFraction: 0.02,
+		MedianSec:    1.0,
+		Sigma:        0.5,
+		MinSec:       0.07,
+		DPDFraction:  0,
+		DPDReduction: 0.5,
+		VRTFraction:  0,
+		VRTRatio:     6,
+		VRTDwellSec:  30,
+		TemperatureC: 45,
+	}
+}
+
+func newSetup(p Params, seed uint64) (*dram.Device, *Model) {
+	g := dram.Geometry{Banks: 1, Rows: 64, Cols: 8}
+	d := dram.NewDevice(g)
+	m := NewModel(g, p, rng.New(seed))
+	d.AttachFault(m)
+	return d, m
+}
+
+// chargeAll writes the charged value of every weak cell so decays are
+// observable, and returns the per-cell ground truth.
+func chargeAll(d *dram.Device, m *Model) []CellInfo {
+	cells := m.Cells()
+	for _, c := range cells {
+		d.SetPhysBit(c.Bank, c.PhysRow, c.Bit, c.ChargedVal)
+	}
+	return cells
+}
+
+func TestNoDecayWithinRetention(t *testing.T) {
+	d, m := newSetup(denseParams(), 1)
+	chargeAll(d, m)
+	// Refresh every 64 ms for one second: min retention is 70 ms, so
+	// nothing may decay.
+	for step := 1; step <= 16; step++ {
+		now := dram.Time(step) * 64 * dram.Millisecond
+		for r := 0; r < 64; r++ {
+			d.RefreshPhysRow(0, r, now)
+		}
+	}
+	if m.Decays() != 0 {
+		t.Fatalf("decays under nominal refresh: %d", m.Decays())
+	}
+}
+
+func TestDecayWhenRefreshStops(t *testing.T) {
+	d, m := newSetup(denseParams(), 2)
+	cells := chargeAll(d, m)
+	if len(cells) == 0 {
+		t.Fatal("no weak cells sampled")
+	}
+	// Let 100 seconds pass with no refresh, then refresh everything:
+	// nearly all weak cells (median retention 1 s) must decay.
+	now := 100 * dram.Second
+	for r := 0; r < 64; r++ {
+		d.RefreshPhysRow(0, r, now)
+	}
+	if m.Decays() == 0 {
+		t.Fatal("no decays after 100 s without refresh")
+	}
+	decayed := 0
+	for _, c := range cells {
+		if d.PhysBit(c.Bank, c.PhysRow, c.Bit) != c.ChargedVal {
+			decayed++
+		}
+	}
+	if decayed < len(cells)*9/10 {
+		t.Fatalf("only %d/%d weak cells decayed after 100 s", decayed, len(cells))
+	}
+}
+
+func TestDecayLockedInByRefresh(t *testing.T) {
+	d, m := newSetup(denseParams(), 3)
+	cells := chargeAll(d, m)
+	if len(cells) == 0 {
+		t.Fatal("no weak cells")
+	}
+	c := cells[0]
+	// Decay then refresh: the wrong value must persist even after
+	// subsequent timely refreshes (the sense amp restored garbage).
+	d.RefreshPhysRow(0, c.PhysRow, 100*dram.Second)
+	v := d.PhysBit(c.Bank, c.PhysRow, c.Bit)
+	if v == c.ChargedVal {
+		t.Fatal("cell did not decay")
+	}
+	d.RefreshPhysRow(0, c.PhysRow, 100*dram.Second+64*dram.Millisecond)
+	if d.PhysBit(c.Bank, c.PhysRow, c.Bit) != v {
+		t.Fatal("locked-in error changed under timely refresh")
+	}
+}
+
+func TestActivationRestoresCharge(t *testing.T) {
+	d, m := newSetup(denseParams(), 4)
+	chargeAll(d, m)
+	// Activate every row at 50 ms intervals (below min retention):
+	// activation restores charge, so no decay may occur even though no
+	// REF commands are ever issued.
+	for step := 1; step <= 40; step++ {
+		now := dram.Time(step) * 50 * dram.Millisecond
+		for r := 0; r < 64; r++ {
+			d.Activate(0, r, now)
+			d.Precharge(0)
+		}
+	}
+	if m.Decays() != 0 {
+		t.Fatalf("decays despite sub-retention activation cadence: %d", m.Decays())
+	}
+}
+
+func TestDischargedCellCannotDecay(t *testing.T) {
+	d, m := newSetup(denseParams(), 5)
+	cells := m.Cells()
+	if len(cells) == 0 {
+		t.Fatal("no weak cells")
+	}
+	// Write the *discharged* value everywhere: decay changes nothing.
+	for _, c := range cells {
+		d.SetPhysBit(c.Bank, c.PhysRow, c.Bit, 1-c.ChargedVal)
+	}
+	for r := 0; r < 64; r++ {
+		d.RefreshPhysRow(0, r, 200*dram.Second)
+	}
+	if m.Decays() != 0 {
+		t.Fatalf("discharged cells decayed: %d", m.Decays())
+	}
+}
+
+func TestDPDShortensRetention(t *testing.T) {
+	p := denseParams()
+	p.DPDFraction = 1
+	p.DPDReduction = 0.3
+	d, m := newSetup(p, 6)
+	cells := chargeAll(d, m)
+	if len(cells) == 0 {
+		t.Fatal("no weak cells")
+	}
+	// Fill neighbours with each cell's charged value (friendly): at an
+	// interval below base retention but above reduced retention, no
+	// decay should occur.
+	for _, c := range cells {
+		for _, nr := range []int{c.PhysRow - 1, c.PhysRow + 1} {
+			if nr >= 0 && nr < 64 {
+				d.SetPhysBit(c.Bank, nr, c.Bit, c.ChargedVal)
+			}
+		}
+	}
+	// Pick a cell and test around its base retention.
+	c := cells[0]
+	friendlyInterval := secToTime(c.BaseSec * 0.5) // below base, above base*0.3
+	d.RefreshPhysRow(0, c.PhysRow, friendlyInterval)
+	if d.PhysBit(c.Bank, c.PhysRow, c.Bit) != c.ChargedVal {
+		t.Fatal("cell decayed with friendly neighbours below base retention")
+	}
+	// Now make neighbours adversarial and repeat the same interval
+	// from the new restore point: the cell must decay.
+	for _, nr := range []int{c.PhysRow - 1, c.PhysRow + 1} {
+		if nr >= 0 && nr < 64 {
+			d.SetPhysBit(c.Bank, nr, c.Bit, 1-c.ChargedVal)
+		}
+	}
+	d.SetPhysBit(c.Bank, c.PhysRow, c.Bit, c.ChargedVal)
+	d.RefreshPhysRow(0, c.PhysRow, friendlyInterval*2)
+	if d.PhysBit(c.Bank, c.PhysRow, c.Bit) == c.ChargedVal {
+		t.Fatal("cell did not decay with adversarial neighbours above reduced retention")
+	}
+}
+
+func TestVRTTogglesBehaviour(t *testing.T) {
+	p := denseParams()
+	p.WeakFraction = 0.05
+	p.VRTFraction = 1
+	p.VRTRatio = 100 // long state effectively never fails in-window
+	p.VRTDwellSec = 5
+	p.Sigma = 0.1
+	p.MedianSec = 0.2
+	d, m := newSetup(p, 7)
+	cells := chargeAll(d, m)
+	if len(cells) == 0 {
+		t.Fatal("no weak cells")
+	}
+	// Observe each cell across many 1-second epochs: VRT cells should
+	// fail in some epochs (short state) and survive others (long
+	// state). Count cells showing both behaviours.
+	both := 0
+	fails := map[int]int{}
+	survives := map[int]int{}
+	for epoch := 1; epoch <= 120; epoch++ {
+		now := dram.Time(epoch) * dram.Second
+		for r := 0; r < 64; r++ {
+			d.RefreshPhysRow(0, r, now)
+		}
+		for i, c := range cells {
+			if d.PhysBit(c.Bank, c.PhysRow, c.Bit) != c.ChargedVal {
+				fails[i]++
+				d.SetPhysBit(c.Bank, c.PhysRow, c.Bit, c.ChargedVal) // re-arm
+			} else {
+				survives[i]++
+			}
+		}
+	}
+	for i := range cells {
+		if fails[i] > 0 && survives[i] > 0 {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Fatal("no cell exhibited both VRT states across 120 epochs")
+	}
+}
+
+func TestTemperatureScaling(t *testing.T) {
+	hot := denseParams()
+	hot.TemperatureC = 85 // 4 decades of 10C -> retention / 16
+	d, m := newSetup(hot, 8)
+	cells := chargeAll(d, m)
+	if len(cells) == 0 {
+		t.Fatal("no weak cells")
+	}
+	c := cells[0]
+	// At 85 C a cell with base retention R fails after R/16.
+	interval := secToTime(c.BaseSec / 8) // > R/16, < R
+	d.RefreshPhysRow(0, c.PhysRow, interval)
+	if d.PhysBit(c.Bank, c.PhysRow, c.Bit) == c.ChargedVal {
+		t.Fatal("hot cell did not decay at interval above scaled retention")
+	}
+}
+
+func TestFractionFailingAt(t *testing.T) {
+	p := DefaultParams()
+	if p.FractionFailingAt(0) != 0 {
+		t.Error("zero interval must give 0")
+	}
+	prev := 0.0
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		f := p.FractionFailingAt(tt)
+		if f < prev {
+			t.Fatalf("FractionFailingAt not monotone at %v", tt)
+		}
+		prev = f
+	}
+	if f := p.FractionFailingAt(1e6); f > p.WeakFraction*1.0000001 {
+		t.Errorf("asymptote %v exceeds weak fraction %v", f, p.WeakFraction)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 128, Cols: 8}
+	a := NewModel(g, DefaultParams(), rng.New(9))
+	b := NewModel(g, DefaultParams(), rng.New(9))
+	ca, cb := a.Cells(), b.Cells()
+	if len(ca) != len(cb) {
+		t.Fatal("same-seed populations differ in size")
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	d, m := newSetup(denseParams(), 10)
+	chargeAll(d, m)
+	for r := 0; r < 64; r++ {
+		d.RefreshPhysRow(0, r, 100*dram.Second)
+	}
+	if m.Decays() == 0 {
+		t.Skip("no decays this seed")
+	}
+	m.ResetCounters()
+	if m.Decays() != 0 {
+		t.Fatal("ResetCounters failed")
+	}
+}

@@ -1,0 +1,128 @@
+// Package spd models the serial presence detect (SPD) ROM of a DRAM
+// module, extended — as the ISCA 2014 RowHammer paper proposes — with
+// the module's internal logical→physical row remapping so that a
+// memory controller can determine true physical adjacency and
+// implement PARA (probabilistic adjacent row activation) on the
+// controller side even when the DRAM chip has remapped rows during
+// post-manufacturing repair.
+//
+// The ROM payload is a compact binary blob: identity-mapped rows are
+// omitted and only exceptions are stored, matching how sparse repair
+// remapping is in practice. A CRC-32 protects the blob, since a
+// corrupted adjacency map would silently break PARA's guarantees.
+package spd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/dram"
+)
+
+// Magic identifies an adjacency-extended SPD blob.
+const Magic = "SPDA"
+
+// Version is the current blob format version.
+const Version = 1
+
+// ErrCorrupt is returned when the blob fails structural or CRC checks.
+var ErrCorrupt = errors.New("spd: corrupt adjacency blob")
+
+// Encode serializes a remap table into an SPD adjacency blob.
+// Layout (little endian):
+//
+//	magic[4] version[1] rows[u32] exceptions[u32]
+//	{logical[u32] physical[u32]} * exceptions
+//	crc32[u32]  (over everything before it)
+func Encode(rt *dram.RemapTable) []byte {
+	phys := rt.PhysSlice()
+	var exceptions [][2]uint32
+	for l, p := range phys {
+		if l != p {
+			exceptions = append(exceptions, [2]uint32{uint32(l), uint32(p)})
+		}
+	}
+	buf := make([]byte, 0, 13+8*len(exceptions)+4)
+	buf = append(buf, Magic...)
+	buf = append(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(phys)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(exceptions)))
+	for _, e := range exceptions {
+		buf = binary.LittleEndian.AppendUint32(buf, e[0])
+		buf = binary.LittleEndian.AppendUint32(buf, e[1])
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses an SPD adjacency blob back into a remap table,
+// validating the CRC and bijectivity.
+func Decode(blob []byte) (*dram.RemapTable, error) {
+	if len(blob) < 17 {
+		return nil, fmt.Errorf("%w: blob too short (%d bytes)", ErrCorrupt, len(blob))
+	}
+	body, crcBytes := blob[:len(blob)-4], blob[len(blob)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	if string(body[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, body[:4])
+	}
+	if body[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, body[4])
+	}
+	rows := binary.LittleEndian.Uint32(body[5:9])
+	exceptions := binary.LittleEndian.Uint32(body[9:13])
+	if uint64(len(body)) != 13+8*uint64(exceptions) {
+		return nil, fmt.Errorf("%w: length mismatch", ErrCorrupt)
+	}
+	phys := make([]int, rows)
+	for i := range phys {
+		phys[i] = i
+	}
+	off := 13
+	for i := uint32(0); i < exceptions; i++ {
+		l := binary.LittleEndian.Uint32(body[off:])
+		p := binary.LittleEndian.Uint32(body[off+4:])
+		off += 8
+		if l >= rows || p >= rows {
+			return nil, fmt.Errorf("%w: exception %d/%d out of range", ErrCorrupt, l, p)
+		}
+		phys[l] = int(p)
+	}
+	rt, err := dram.RemapFromPhysSlice(phys)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rt, nil
+}
+
+// AdjacencyOracle answers physical-adjacency queries for a controller.
+// A controller holding the module's SPD blob builds an oracle from it;
+// a controller without the blob can only assume logical adjacency,
+// which is wrong for remapped rows (experiment E19 quantifies the
+// resulting PARA escape rate).
+type AdjacencyOracle struct {
+	rt *dram.RemapTable
+}
+
+// NewOracle builds an oracle from a decoded remap table.
+func NewOracle(rt *dram.RemapTable) *AdjacencyOracle {
+	return &AdjacencyOracle{rt: rt}
+}
+
+// NeighborsOf returns the logical row numbers whose physical rows are
+// at the given physical distance from the physical row backing logRow.
+// The result has zero, one or two entries (edge rows have one side).
+func (o *AdjacencyOracle) NeighborsOf(logRow, dist int) []int {
+	phys := o.rt.Phys(logRow)
+	var out []int
+	if p := phys - dist; p >= 0 {
+		out = append(out, o.rt.Log(p))
+	}
+	if p := phys + dist; p < o.rt.Rows() {
+		out = append(out, o.rt.Log(p))
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/rng"
+)
+
+func testMap() memctrl.AddressMap {
+	return memctrl.AddressMap{Geom: dram.Geometry{Banks: 2, Rows: 128, Cols: 8}}
+}
+
+func newController() *memctrl.Controller {
+	return memctrl.New(dram.NewDevice(testMap().Geom), memctrl.Config{})
+}
+
+func TestSequentialWrapsAndHitsRows(t *testing.T) {
+	m := testMap()
+	g := NewSequential(m)
+	first := g.Next()
+	var last Access
+	n := int(m.Bytes() / 8)
+	for i := 1; i < n; i++ {
+		last = g.Next()
+	}
+	wrapped := g.Next()
+	if wrapped.Coord != first.Coord {
+		t.Fatalf("did not wrap: %+v vs %+v", wrapped.Coord, first.Coord)
+	}
+	_ = last
+}
+
+func TestSequentialRowLocality(t *testing.T) {
+	c := newController()
+	g := NewSequential(c.Map())
+	Run(c, g, 1000)
+	if c.Stats.RowHits < c.Stats.RowConflicts {
+		t.Fatalf("sequential should be hit-dominated: hits=%d conflicts=%d",
+			c.Stats.RowHits, c.Stats.RowConflicts)
+	}
+}
+
+func TestRandomCoversSpace(t *testing.T) {
+	g := NewRandom(testMap(), 0.3, rng.New(1))
+	banks := map[int]bool{}
+	writes := 0
+	for i := 0; i < 5000; i++ {
+		a := g.Next()
+		banks[a.Coord.Bank] = true
+		if a.Write {
+			writes++
+		}
+	}
+	if len(banks) != 2 {
+		t.Fatal("random workload missed a bank")
+	}
+	frac := float64(writes) / 5000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("write fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestStridedPeriodicity(t *testing.T) {
+	m := testMap()
+	g := NewStrided(m, 64)
+	a := g.Next()
+	b := g.Next()
+	if a.Coord == b.Coord {
+		t.Fatal("stride did not advance")
+	}
+}
+
+func TestZipfConcentration(t *testing.T) {
+	g := NewZipfRows(testMap(), 1.2, rng.New(3))
+	counts := map[memctrl.Coord]int{}
+	rowCounts := map[[2]int]int{}
+	for i := 0; i < 20000; i++ {
+		a := g.Next()
+		counts[a.Coord]++
+		rowCounts[[2]int{a.Coord.Bank, a.Coord.Row}]++
+	}
+	max := 0
+	for _, n := range rowCounts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 2000 {
+		t.Fatalf("Zipf workload not concentrated: max row count %d of 20000", max)
+	}
+}
+
+func TestHammerAlternates(t *testing.T) {
+	g := NewHammer(0, 10, 12)
+	a, b, c := g.Next(), g.Next(), g.Next()
+	if a.Coord.Row != 10 || b.Coord.Row != 12 || c.Coord.Row != 10 {
+		t.Fatalf("hammer pattern wrong: %d %d %d", a.Coord.Row, b.Coord.Row, c.Coord.Row)
+	}
+}
+
+func TestMixRespectsWeights(t *testing.T) {
+	src := rng.New(5)
+	mix := NewMix("mix", src,
+		[]Generator{NewHammer(0, 1, 3), NewSequential(testMap())},
+		[]float64{0.2, 0.8})
+	hammered := 0
+	for i := 0; i < 10000; i++ {
+		a := mix.Next()
+		if a.Coord.Row == 1 || a.Coord.Row == 3 {
+			if a.Coord.Col == 0 && a.Coord.Bank == 0 {
+				hammered++
+			}
+		}
+	}
+	frac := float64(hammered) / 10000
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("hammer fraction in mix = %v, want ~0.2", frac)
+	}
+}
+
+func TestMixPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMix("bad", rng.New(1), []Generator{NewSequential(testMap())}, []float64{1, 2})
+}
+
+func TestRunComputesMeanLatency(t *testing.T) {
+	c := newController()
+	mean := Run(c, NewSequential(c.Map()), 500)
+	if mean <= 0 {
+		t.Fatal("mean latency not positive")
+	}
+	if c.Stats.Accesses != 500 {
+		t.Fatalf("accesses = %d", c.Stats.Accesses)
+	}
+	if Run(c, NewSequential(c.Map()), 0) != 0 {
+		t.Fatal("zero accesses should give zero latency")
+	}
+}
+
+func TestNames(t *testing.T) {
+	m := testMap()
+	src := rng.New(9)
+	gens := []Generator{
+		NewSequential(m), NewRandom(m, 0, src), NewStrided(m, 8),
+		NewZipfRows(m, 1, src), NewHammer(0, 1, 2),
+		NewMix("combo", src, []Generator{NewSequential(m)}, []float64{1}),
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		if g.Name() == "" || seen[g.Name()] {
+			t.Fatalf("bad name %q", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}
