@@ -1,6 +1,7 @@
 // The benchmark harness: one testing.B benchmark per experiment in the
-// per-experiment index of DESIGN.md. Each benchmark regenerates its
-// table/figure and prints the series once, so
+// per-experiment index of DESIGN.md, plus whole-suite benchmarks over
+// the parallel Runner. Each per-experiment benchmark regenerates its
+// table/figure through the Runner and prints the series once, so
 //
 //	go test -bench=. -benchmem
 //
@@ -23,14 +24,35 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
+	runner := &exp.Runner{Workers: 1, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab := e.Run(1)
+		res := runner.Run([]exp.Experiment{e})
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
 		if _, printed := printOnce.LoadOrStore(id, true); !printed {
-			fmt.Printf("\n%s\n", tab)
+			fmt.Printf("\n%s\n", res[0].Table)
 		}
 	}
 }
+
+// benchSuite runs every registered experiment through the Runner with
+// the given worker count.
+func benchSuite(b *testing.B, workers int) {
+	runner := &exp.Runner{Workers: workers, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range runner.RunAll() {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkAllExperimentsSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkAllExperimentsParallel(b *testing.B) { benchSuite(b, 0) }
 
 func BenchmarkE01Figure1(b *testing.B)            { benchExperiment(b, "E1") }
 func BenchmarkE02ModuleCensus(b *testing.B)       { benchExperiment(b, "E2") }

@@ -1,24 +1,39 @@
 // Command experiments regenerates the paper's tables and figures as
-// text series. With no arguments it runs every experiment; -run
-// selects one by ID; -list shows the index.
+// text series, executing experiments on a parallel worker pool. With no
+// arguments it runs every experiment; -run selects a comma-separated
+// subset by ID; -list shows the index.
 //
 // Usage:
 //
-//	experiments [-seed N] [-run E4] [-list]
+//	experiments [-seed N] [-run E4[,E5,...]] [-list] [-workers N]
+//	            [-json FILE] [-compare] [-quiet]
+//
+// Tables are deterministic per seed and bit-identical for every worker
+// count; results print in experiment-ID order with per-experiment wall
+// time and the run's total. -json writes a machine-readable summary
+// (per-experiment wall time, allocations and table hashes) for
+// benchmark trajectory tracking; -compare additionally times a serial
+// run for a before/after wall-time comparison.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/exp"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed (results are deterministic per seed)")
-	run := flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+	run := flag.String("run", "", "run a comma-separated subset of experiments by ID (e.g. E4,E21)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a machine-readable run summary to this file")
+	compare := flag.Bool("compare", false, "also run serially and print the parallel-vs-serial wall times")
+	quiet := flag.Bool("quiet", false, "suppress tables, print only timings")
 	flag.Parse()
 
 	if *list {
@@ -27,16 +42,71 @@ func main() {
 		}
 		return
 	}
+
+	selected := exp.All()
 	if *run != "" {
-		e, ok := exp.ByID(*run)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+		selected = selected[:0]
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	runner := &exp.Runner{Workers: *workers, Seed: *seed}
+	start := time.Now()
+	results := runner.Run(selected)
+	wall := time.Since(start)
+
+	failed := false
+	for _, r := range results {
+		if r.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
+			continue
+		}
+		if !*quiet {
+			fmt.Println(r.Table)
+		}
+	}
+	effWorkers := runner.EffectiveWorkers()
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "%-4s %8.1f ms\n", r.ID, float64(r.Wall)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "total %8.1f ms (%d experiments, %d workers)\n",
+		float64(wall)/float64(time.Millisecond), len(results), effWorkers)
+
+	if *compare {
+		serial := &exp.Runner{Workers: 1, Seed: *seed}
+		sStart := time.Now()
+		serial.Run(selected)
+		sWall := time.Since(sStart)
+		fmt.Fprintf(os.Stderr, "serial %7.1f ms -> parallel %7.1f ms (%.2fx)\n",
+			float64(sWall)/float64(time.Millisecond),
+			float64(wall)/float64(time.Millisecond),
+			float64(sWall)/float64(wall))
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println(e.Run(*seed))
-		return
+		summary := exp.NewSummary(results, *seed, runner.EffectiveWorkers(), wall)
+		if err := summary.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	for _, e := range exp.All() {
-		fmt.Println(e.Run(*seed))
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -17,9 +17,13 @@
 // entire stack in Go:
 //
 //   - internal/dram, internal/disturb, internal/retention: the DRAM
-//     device and its two failure mechanisms
+//     device and its two failure mechanisms. The disturbance hot path
+//     uses dense flat-slice indexes and batched burst dispatch
+//     (dram.HammerFaultModel); see README.md for the batching contract
+//     and measured speedups.
 //   - internal/memctrl: the memory controller with the pluggable
-//     mitigation registry (PARA, CRA, TRR, ANVIL, refresh scaling)
+//     mitigation registry (PARA, CRA, TRR, ANVIL, refresh scaling) and
+//     the batched HammerPairs sweep path.
 //   - internal/ecc, internal/spd: SECDED(72,64) and the adjacency ROM
 //   - internal/modules: the 129-module population behind Figure 1
 //   - internal/attack: hammer kernels, templating, privilege
@@ -28,7 +32,9 @@
 //     domain plus FCR, RFR, NAC and read-disturb management
 //   - internal/pcm: Start-Gap wear leveling under write attack
 //   - internal/profile, internal/core, internal/exp: profiling,
-//     analysis, and the E1-E23 experiment registry
+//     analysis, the E1-E29 experiment registry, and the parallel
+//     experiment Runner with its machine-readable benchmark summaries
+//     (BENCH_*.json)
 //
 // This facade re-exports the handful of entry points downstream code
 // needs; everything else is importable within the module from the
@@ -57,8 +63,16 @@ func Build(m *Module, opt Options) *System { return core.Build(m, opt) }
 // Population returns the 129-module study population.
 func Population(seed uint64) []Module { return modules.Population(seed) }
 
-// Experiments lists the registered experiments (E1..E23).
+// Experiments lists the registered experiments (E1..E29).
 func Experiments() []exp.Experiment { return exp.All() }
+
+// Runner executes experiments on a parallel worker pool; results are
+// deterministic in experiment-ID order and bit-identical for every
+// worker count.
+type Runner = exp.Runner
+
+// RunResult is one experiment outcome from a Runner.
+type RunResult = exp.RunResult
 
 // RunExperiment executes one experiment by ID.
 func RunExperiment(id string, seed uint64) (*stats.Table, bool) {

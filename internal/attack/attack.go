@@ -17,26 +17,17 @@ import (
 // given number of activation pairs. Alternating two rows in the same
 // bank defeats the row buffer, so every access is an activation —
 // exactly the trick the user-level test program relies on instead of
-// cache flushes.
+// cache flushes. The controller batches refresh-free runs of the sweep
+// when no mitigation is watching.
 func DoubleSided(c *memctrl.Controller, bank, victimRow, pairs int) {
-	up := memctrl.Coord{Bank: bank, Row: victimRow - 1}
-	down := memctrl.Coord{Bank: bank, Row: victimRow + 1}
-	for i := 0; i < pairs; i++ {
-		c.AccessCoord(up, false, 0)
-		c.AccessCoord(down, false, 0)
-	}
+	c.HammerPairs(bank, victimRow-1, victimRow+1, pairs)
 }
 
 // SingleSided hammers aggrRow against a distant dummy row (the
 // original test program's pattern: the dummy forces row-buffer
 // conflicts without disturbing the victim's other side).
 func SingleSided(c *memctrl.Controller, bank, aggrRow, dummyRow, pairs int) {
-	a := memctrl.Coord{Bank: bank, Row: aggrRow}
-	d := memctrl.Coord{Bank: bank, Row: dummyRow}
-	for i := 0; i < pairs; i++ {
-		c.AccessCoord(a, false, 0)
-		c.AccessCoord(d, false, 0)
-	}
+	c.HammerPairs(bank, aggrRow, dummyRow, pairs)
 }
 
 // ManySided cycles through many aggressor rows, the pattern that

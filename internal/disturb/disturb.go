@@ -25,9 +25,21 @@
 //     restored (activation or refresh of the victim row).
 //   - Refresh resets: restoring a victim row's charge zeroes the
 //     accumulated pressure on its cells.
+//
+// The hot path is branch-free where it matters: the per-(bank,row)
+// weak-cell and influence indexes are dense flat slices keyed by
+// bank*Rows+physRow, so an activation of a row with no coupled cells —
+// the overwhelmingly common case — costs two slice loads. The model
+// also implements dram.HammerFaultModel, letting the device apply a
+// whole burst of activations in one call; batched application is
+// bit-identical to the per-activation path (see the batching contract
+// on OnActivateBatch and OnHammerPairBatch). The seed's map-indexed
+// per-activation implementation is retained in reference.go as the
+// equivalence oracle.
 package disturb
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/dram"
@@ -98,37 +110,17 @@ type influence struct {
 	weight float64
 }
 
-// Model is a dram.FaultModel implementing RowHammer disturbance.
-type Model struct {
-	params Params
-	geom   dram.Geometry
-	cells  []*weakCell
-	// byVictimRow indexes weak cells by (bank, victim physical row)
-	// for restore resets; byAggressor indexes influences by (bank,
-	// aggressor physical row) for pressure accumulation.
-	byVictimRow  map[[2]int][]*weakCell
-	byAggressor  map[[2]int][]influence
-	totalFlips   int64
-	epochFlips   int64
-	minThreshold float64
-}
-
-var _ dram.FaultModel = (*Model)(nil)
-
-// NewModel samples the weak-cell population for a device of the given
-// geometry. The expected number of weak cells is
-// WeakCellFraction * TotalCells; the actual count is binomially
-// sampled. Construction is deterministic given the stream.
-func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
-	m := &Model{
-		params:       p,
-		geom:         geom,
-		byVictimRow:  map[[2]int][]*weakCell{},
-		byAggressor:  map[[2]int][]influence{},
-		minThreshold: math.Inf(1),
-	}
+// sampleWeakCells draws the weak-cell population for a device of the
+// given geometry and hands each kept cell to add. The expected number
+// of weak cells is WeakCellFraction * TotalCells; the actual count is
+// binomially sampled. The draw sequence is deterministic given the
+// stream and shared between Model and Reference so that both see the
+// identical population. It returns the set of occupied (bank,row,bit)
+// positions for duplicate detection, or nil if the device has no weak
+// cells.
+func sampleWeakCells(geom dram.Geometry, p Params, src *rng.Stream, add func(*weakCell)) map[[3]int]bool {
 	if p.WeakCellFraction <= 0 {
-		return m
+		return nil
 	}
 	n := src.Binomial(geom.TotalCells(), p.WeakCellFraction)
 	bitsPerRow := geom.BitsPerRow()
@@ -158,39 +150,93 @@ func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
 		} else {
 			wc.upWeight, wc.downWeight = second, 1
 		}
-		m.addCell(wc)
-		if wc.threshold < m.minThreshold {
-			m.minThreshold = wc.threshold
-		}
+		add(wc)
 	}
+	return seen
+}
+
+// Model is a dram.FaultModel implementing RowHammer disturbance.
+type Model struct {
+	params Params
+	geom   dram.Geometry
+	cells  []*weakCell
+	// victimIdx and aggIdx are dense flat indexes keyed by
+	// bank*geom.Rows+physRow: victimIdx lists the weak cells residing
+	// in a row (for restore resets), aggIdx the influences of
+	// activating a row (for pressure accumulation). They replace the
+	// seed's map[[2]int] indexes, turning the per-activation lookup
+	// into a single slice load.
+	victimIdx [][]*weakCell
+	aggIdx    [][]influence
+	// seen tracks occupied (bank,row,bit) positions; dup is set when
+	// InjectWeakCell stacks two cells on one position, which makes
+	// flip-observability order-dependent and disables batching.
+	seen         map[[3]int]bool
+	dup          bool
+	totalFlips   int64
+	epochFlips   int64
+	minThreshold float64
+}
+
+var (
+	_ dram.FaultModel       = (*Model)(nil)
+	_ dram.HammerFaultModel = (*Model)(nil)
+)
+
+// NewModel samples the weak-cell population for a device of the given
+// geometry. Construction is deterministic given the stream and draws
+// the identical population to NewReference.
+func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
+	m := &Model{
+		params:       p,
+		geom:         geom,
+		victimIdx:    make([][]*weakCell, geom.Banks*geom.Rows),
+		aggIdx:       make([][]influence, geom.Banks*geom.Rows),
+		minThreshold: math.Inf(1),
+	}
+	m.seen = sampleWeakCells(geom, p, src, m.addCell)
 	return m
 }
 
 func (m *Model) addCell(wc *weakCell) {
 	m.cells = append(m.cells, wc)
-	vKey := [2]int{wc.bank, wc.physRow}
-	m.byVictimRow[vKey] = append(m.byVictimRow[vKey], wc)
+	base := wc.bank * m.geom.Rows
+	m.victimIdx[base+wc.physRow] = append(m.victimIdx[base+wc.physRow], wc)
 	up := wc.physRow - wc.dist
 	down := wc.physRow + wc.dist
 	if up >= 0 {
-		k := [2]int{wc.bank, up}
-		m.byAggressor[k] = append(m.byAggressor[k], influence{wc, wc.upWeight})
+		m.aggIdx[base+up] = append(m.aggIdx[base+up], influence{wc, wc.upWeight})
 	}
 	if down < m.geom.Rows {
-		k := [2]int{wc.bank, down}
-		m.byAggressor[k] = append(m.byAggressor[k], influence{wc, wc.downWeight})
+		m.aggIdx[base+down] = append(m.aggIdx[base+down], influence{wc, wc.downWeight})
+	}
+	if wc.threshold < m.minThreshold {
+		m.minThreshold = wc.threshold
 	}
 }
 
 // Name implements dram.FaultModel.
 func (m *Model) Name() string { return "rowhammer" }
 
+// applyFlip discharges a cell whose pressure crossed its threshold. The
+// flip is only observable if the cell currently holds its charged
+// value.
+func (m *Model) applyFlip(d *dram.Device, wc *weakCell) {
+	if d.PhysBit(wc.bank, wc.physRow, wc.bit) == wc.chargedVal {
+		d.SetPhysBit(wc.bank, wc.physRow, wc.bit, 1-wc.chargedVal)
+		m.totalFlips++
+		m.epochFlips++
+	}
+	wc.flipped = true
+}
+
 // OnActivate implements dram.FaultModel: activating a row restores its
 // own charge (resetting pressure on its weak cells) and disturbs weak
 // cells coupled to it in neighbouring rows.
 func (m *Model) OnActivate(d *dram.Device, bank, physRow int, now dram.Time) {
+	idx := bank*m.geom.Rows + physRow
 	m.restoreRow(bank, physRow)
-	for _, inf := range m.byAggressor[[2]int{bank, physRow}] {
+	for _, inf := range m.aggIdx[idx] {
 		wc := inf.cell
 		if wc.flipped {
 			continue
@@ -207,14 +253,7 @@ func (m *Model) OnActivate(d *dram.Device, bank, physRow int, now dram.Time) {
 		}
 		wc.pressure += w
 		if wc.pressure >= wc.threshold {
-			// The victim cell discharges. Only observable if it
-			// currently holds its charged value.
-			if d.PhysBit(wc.bank, wc.physRow, wc.bit) == wc.chargedVal {
-				d.SetPhysBit(wc.bank, wc.physRow, wc.bit, 1-wc.chargedVal)
-				m.totalFlips++
-				m.epochFlips++
-			}
-			wc.flipped = true
+			m.applyFlip(d, wc)
 		}
 	}
 }
@@ -226,10 +265,170 @@ func (m *Model) OnRefresh(d *dram.Device, bank, physRow int, now dram.Time) {
 }
 
 func (m *Model) restoreRow(bank, physRow int) {
-	for _, wc := range m.byVictimRow[[2]int{bank, physRow}] {
+	for _, wc := range m.victimIdx[bank*m.geom.Rows+physRow] {
 		wc.pressure = 0
 		wc.flipped = false
 	}
+}
+
+// --- Batched hammer dispatch (dram.HammerFaultModel) ---
+//
+// Batching contract: a batched call must leave the model, the device
+// bits and every counter in exactly the state the equivalent sequence
+// of per-activation OnActivate calls would. Three properties make this
+// possible for single-row and alternating-pair bursts:
+//
+//  1. Flips land only in victim rows, never in the hammered row(s)
+//     themselves (a cell is never its own aggressor, and pair batching
+//     declines when a hammered row hosts a cell coupled to the other
+//     hammered row). The aggressor rows' bits — and with them the
+//     data-pattern-dependent weights — are therefore constant across
+//     the burst.
+//  2. Cells residing in a hammered row receive no pressure during the
+//     burst, so restoring them once up front is identical to restoring
+//     them on every activation.
+//  3. Distinct cells are independent: each cell's pressure additions
+//     form the same float sequence whether interleaved with other
+//     cells' or not. Only duplicate (bank,row,bit) cells (possible via
+//     InjectWeakCell) break this, and they disable batching.
+
+// BatchableRow implements dram.HammerFaultModel. Single-row bursts
+// batch exactly unless duplicate cells were injected.
+func (m *Model) BatchableRow(bank, physRow int) bool { return !m.dup }
+
+// OnActivateBatch implements dram.HammerFaultModel: semantically
+// identical to n consecutive OnActivate(bank, physRow) calls, in
+// O(coupled cells + pressure additions) instead of n full dispatches.
+func (m *Model) OnActivateBatch(d *dram.Device, bank, physRow, n int, start, period dram.Time) {
+	idx := bank*m.geom.Rows + physRow
+	// Restoring once is exact: cells residing in physRow receive no
+	// pressure during the burst, so later restores would be no-ops.
+	m.restoreRow(bank, physRow)
+	for _, inf := range m.aggIdx[idx] {
+		wc := inf.cell
+		if wc.flipped {
+			continue
+		}
+		m.accumulate(d, wc, m.effWeight(d, bank, physRow, wc, inf.weight), n)
+	}
+}
+
+// BatchablePair implements dram.HammerFaultModel: an alternating
+// rowA/rowB burst batches exactly unless a cell residing in one of the
+// hammered rows is coupled to either of them (its per-pair
+// restore/accumulate interleaving, and the mid-burst flips it could
+// place into a hammered row, are order-dependent), or duplicates exist.
+func (m *Model) BatchablePair(bank, rowA, rowB int) bool {
+	if m.dup || rowA == rowB {
+		return false
+	}
+	base := bank * m.geom.Rows
+	for _, inf := range m.aggIdx[base+rowA] {
+		if r := inf.cell.physRow; r == rowA || r == rowB {
+			return false
+		}
+	}
+	for _, inf := range m.aggIdx[base+rowB] {
+		if r := inf.cell.physRow; r == rowA || r == rowB {
+			return false
+		}
+	}
+	return true
+}
+
+// OnHammerPairBatch implements dram.HammerFaultModel: semantically
+// identical to n repetitions of {OnActivate(rowA); OnActivate(rowB)}.
+func (m *Model) OnHammerPairBatch(d *dram.Device, bank, rowA, rowB, n int, start, period dram.Time) {
+	base := bank * m.geom.Rows
+	m.restoreRow(bank, rowA)
+	m.restoreRow(bank, rowB)
+	aggA, aggB := m.aggIdx[base+rowA], m.aggIdx[base+rowB]
+	for _, inf := range aggA {
+		wc := inf.cell
+		if wB, both := influenceWeight(aggB, wc); both {
+			// Coupled to both sides: alternating additions.
+			if wc.flipped {
+				continue
+			}
+			m.accumulatePair(d, wc,
+				m.effWeight(d, bank, rowA, wc, inf.weight),
+				m.effWeight(d, bank, rowB, wc, wB), n)
+		} else if !wc.flipped {
+			m.accumulate(d, wc, m.effWeight(d, bank, rowA, wc, inf.weight), n)
+		}
+	}
+	for _, inf := range aggB {
+		wc := inf.cell
+		if _, both := influenceWeight(aggA, wc); both {
+			continue // handled in the rowA pass
+		}
+		if wc.flipped {
+			continue
+		}
+		m.accumulate(d, wc, m.effWeight(d, bank, rowB, wc, inf.weight), n)
+	}
+}
+
+// influenceWeight returns the weight with which list couples wc, if any.
+func influenceWeight(list []influence, wc *weakCell) (float64, bool) {
+	for i := range list {
+		if list[i].cell == wc {
+			return list[i].weight, true
+		}
+	}
+	return 0, false
+}
+
+// effWeight applies data-pattern dependence for one aggressor row. The
+// result is constant for a whole batched burst of that row: flips land
+// only in victim rows, so the aggressor row's bits cannot change
+// mid-burst.
+func (m *Model) effWeight(d *dram.Device, bank, aggRow int, wc *weakCell, w float64) float64 {
+	if m.params.DPDFactor > 0 && m.params.DPDFactor < 1 {
+		if d.PhysBit(bank, aggRow, wc.bit) == wc.chargedVal {
+			w *= m.params.DPDFactor
+		}
+	}
+	return w
+}
+
+// accumulate applies n pressure additions of constant weight w. The
+// additions replicate the per-activation float sequence exactly (p += w
+// n times, stopping at the threshold crossing) so batched results stay
+// bit-identical to the naive path.
+func (m *Model) accumulate(d *dram.Device, wc *weakCell, w float64, n int) {
+	p, th := wc.pressure, wc.threshold
+	for ; n > 0; n-- {
+		p += w
+		if p >= th {
+			wc.pressure = p
+			m.applyFlip(d, wc)
+			return
+		}
+	}
+	wc.pressure = p
+}
+
+// accumulatePair applies n alternating (wA, wB) pressure additions for
+// a cell coupled to both hammered rows, preserving the exact per-pair
+// float sequence of the naive path.
+func (m *Model) accumulatePair(d *dram.Device, wc *weakCell, wA, wB float64, n int) {
+	p, th := wc.pressure, wc.threshold
+	for ; n > 0; n-- {
+		p += wA
+		if p >= th {
+			wc.pressure = p
+			m.applyFlip(d, wc)
+			return
+		}
+		p += wB
+		if p >= th {
+			wc.pressure = p
+			m.applyFlip(d, wc)
+			return
+		}
+	}
+	wc.pressure = p
 }
 
 // InjectWeakCell adds a weak cell with explicit parameters. It is the
@@ -237,17 +436,28 @@ func (m *Model) restoreRow(bank, physRow int) {
 // physical locations (e.g. inside internally remapped regions for the
 // PARA-placement experiment). dist is the aggressor distance (1 or 2);
 // upWeight/downWeight are the coupling weights of the rows above and
-// below the victim.
+// below the victim. Injecting a second cell at an occupied
+// (bank,row,bit) position disables batched hammer dispatch.
 func (m *Model) InjectWeakCell(bank, physRow, bit int, threshold float64, chargedVal uint64, dist int, upWeight, downWeight float64) {
+	if dist < 1 {
+		// dist 0 would make the cell its own aggressor, which the
+		// physics (and the batching contract) exclude.
+		panic(fmt.Sprintf("disturb: InjectWeakCell dist %d out of range (want >= 1)", dist))
+	}
 	wc := &weakCell{
 		bank: bank, physRow: physRow, bit: bit,
 		threshold: threshold, chargedVal: chargedVal & 1,
 		dist: dist, upWeight: upWeight, downWeight: downWeight,
 	}
-	m.addCell(wc)
-	if wc.threshold < m.minThreshold {
-		m.minThreshold = wc.threshold
+	pos := [3]int{bank, physRow, bit}
+	if m.seen == nil {
+		m.seen = map[[3]int]bool{}
 	}
+	if m.seen[pos] {
+		m.dup = true
+	}
+	m.seen[pos] = true
+	m.addCell(wc)
 }
 
 // WeakCellCount returns the number of disturbable cells sampled.
@@ -266,18 +476,20 @@ func (m *Model) ResetCounters() { m.totalFlips, m.epochFlips = 0, 0 }
 func (m *Model) MinThreshold() float64 { return m.minThreshold }
 
 // VictimRows returns the distinct (bank, physical row) pairs that
-// contain weak cells, for test instrumentation.
+// contain weak cells, for test instrumentation, in (bank, row) order.
 func (m *Model) VictimRows() [][2]int {
-	out := make([][2]int, 0, len(m.byVictimRow))
-	for k := range m.byVictimRow {
-		out = append(out, k)
+	var out [][2]int
+	for idx, cells := range m.victimIdx {
+		if len(cells) > 0 {
+			out = append(out, [2]int{idx / m.geom.Rows, idx % m.geom.Rows})
+		}
 	}
 	return out
 }
 
 // CellsInRow returns the number of weak cells in a victim row.
 func (m *Model) CellsInRow(bank, physRow int) int {
-	return len(m.byVictimRow[[2]int{bank, physRow}])
+	return len(m.victimIdx[bank*m.geom.Rows+physRow])
 }
 
 // FractionFlippableAt returns the expected fraction of ALL cells that

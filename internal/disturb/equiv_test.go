@@ -1,0 +1,284 @@
+package disturb
+
+// Equivalence tests for the flat-index and batched hot paths: for the
+// same stream, Model (flat slices, batched dispatch) and Reference (the
+// retained seed implementation: map indexes, strictly per-activation)
+// must produce identical flip sets, counters, cell states and device
+// contents under identical command sequences.
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/rng"
+)
+
+// twin builds a (device, model) pair plus its (device, reference) twin
+// with identical sampled populations and identical cell contents.
+func twin(t *testing.T, g dram.Geometry, p Params, seed uint64) (*dram.Device, *Model, *dram.Device, *Reference) {
+	t.Helper()
+	dm := dram.NewDevice(g)
+	dr := dram.NewDevice(g)
+	m := NewModel(g, p, rng.New(seed))
+	r := NewReference(g, p, rng.New(seed))
+	if m.WeakCellCount() != r.WeakCellCount() {
+		t.Fatalf("population mismatch: model %d cells, reference %d", m.WeakCellCount(), r.WeakCellCount())
+	}
+	dm.AttachFault(m)
+	dr.AttachFault(r)
+	for b := 0; b < g.Banks; b++ {
+		for row := 0; row < g.Rows; row++ {
+			pat := uint64(0xaaaaaaaaaaaaaaaa)
+			if row%2 == 1 {
+				pat = 0x5555555555555555
+			}
+			dm.FillPhysRow(b, row, pat)
+			dr.FillPhysRow(b, row, pat)
+		}
+	}
+	return dm, m, dr, r
+}
+
+// compareState requires bit-identical device contents, flip counters
+// and per-cell pressure/flipped state.
+func compareState(t *testing.T, dm *dram.Device, m *Model, dr *dram.Device, r *Reference, ctx string) {
+	t.Helper()
+	if m.TotalFlips() != r.TotalFlips() {
+		t.Fatalf("%s: flips: model %d, reference %d", ctx, m.TotalFlips(), r.TotalFlips())
+	}
+	g := dm.Geom
+	for b := 0; b < g.Banks; b++ {
+		for row := 0; row < g.Rows; row++ {
+			wm := dm.PhysRowWords(b, row)
+			wr := dr.PhysRowWords(b, row)
+			for c := range wm {
+				if wm[c] != wr[c] {
+					t.Fatalf("%s: bank %d row %d col %d: model %#x, reference %#x",
+						ctx, b, row, c, wm[c], wr[c])
+				}
+			}
+		}
+	}
+	// Shared sampling guarantees the cell slices are parallel.
+	for i := range m.cells {
+		cm, cr := m.cells[i], r.cells[i]
+		if cm.pressure != cr.pressure || cm.flipped != cr.flipped {
+			t.Fatalf("%s: cell %d (bank %d row %d bit %d): model (p=%v flipped=%v), reference (p=%v flipped=%v)",
+				ctx, i, cm.bank, cm.physRow, cm.bit, cm.pressure, cm.flipped, cr.pressure, cr.flipped)
+		}
+	}
+}
+
+// denseParams returns a vulnerability with enough weak cells, low
+// thresholds and every modelled mechanism (dist-2, DPD, asymmetric
+// sides) active at the small test geometry.
+func denseParams() Params {
+	p := DefaultParams()
+	p.WeakCellFraction = 5e-3
+	p.ThresholdMedian = 120
+	p.MinThreshold = 15
+	p.ThresholdSigma = 0.9
+	p.Dist2Fraction = 0.25
+	return p
+}
+
+func TestFlatIndexMatchesReferencePerActivation(t *testing.T) {
+	g := dram.Geometry{Banks: 2, Rows: 128, Cols: 4}
+	dm, m, dr, r := twin(t, g, denseParams(), 42)
+	if m.WeakCellCount() == 0 {
+		t.Fatal("test needs a non-empty population")
+	}
+	// A mixed command history: double-sided pairs, single rows,
+	// interleaved refreshes, across both banks.
+	now := dram.Time(0)
+	step := func(d *dram.Device, b, row int) {
+		d.Activate(b, row, now)
+		d.Precharge(b)
+	}
+	src := rng.New(7)
+	for iter := 0; iter < 30000; iter++ {
+		// Activate only even rows of a narrow band, so odd-row victims
+		// accumulate pressure across iterations instead of being
+		// restored by activations of their own row.
+		b := src.Intn(g.Banks)
+		row := 1 + 2*src.Intn(7) // odd victim row in 1..13
+		now += 49
+		switch iter % 5 {
+		case 0, 1: // double-sided pair around the victim
+			step(dm, b, row-1)
+			step(dr, b, row-1)
+			now += 49
+			step(dm, b, row+1)
+			step(dr, b, row+1)
+		case 2, 3: // single-sided step
+			step(dm, b, row+1)
+			step(dr, b, row+1)
+		case 4: // refresh the victim row, resetting its epoch
+			dm.RefreshPhysRow(b, row, now)
+			dr.RefreshPhysRow(b, row, now)
+		}
+	}
+	if m.TotalFlips() == 0 {
+		t.Fatal("command history induced no flips; test is vacuous")
+	}
+	compareState(t, dm, m, dr, r, "mixed history")
+}
+
+func TestHammerNMatchesPerActivation(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 128, Cols: 4}
+	dm, m, dr, r := twin(t, g, denseParams(), 99)
+	now := dram.Time(0)
+	const period = 49
+	for row := 1; row < g.Rows-1; row += 3 {
+		n := 100 + (row%7)*57
+		dm.HammerN(0, row, n, now, period)
+		tt := now
+		for i := 0; i < n; i++ {
+			dr.Activate(0, row, tt)
+			dr.Precharge(0)
+			tt += period
+		}
+		now += dram.Time(n) * period
+	}
+	if m.TotalFlips() == 0 {
+		t.Fatal("no flips; test is vacuous")
+	}
+	compareState(t, dm, m, dr, r, "HammerN")
+	if dm.Stats.Activates != dr.Stats.Activates || dm.Stats.Precharges != dr.Stats.Precharges {
+		t.Fatalf("stats: model %+v, reference %+v", dm.Stats, dr.Stats)
+	}
+	if dm.Stats.OpEnergyPJ != dr.Stats.OpEnergyPJ {
+		t.Fatalf("energy: model %v, reference %v", dm.Stats.OpEnergyPJ, dr.Stats.OpEnergyPJ)
+	}
+	for row := 0; row < g.Rows; row++ {
+		if dm.LastRestore(0, row) != dr.LastRestore(0, row) {
+			t.Fatalf("lastRestore row %d: model %d, reference %d", row, dm.LastRestore(0, row), dr.LastRestore(0, row))
+		}
+	}
+}
+
+func TestHammerPairConflictMatchesPerActivation(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 128, Cols: 4}
+	dm, m, dr, r := twin(t, g, denseParams(), 1234)
+	now := dram.Time(0)
+	const period = 49
+	// Enter the open state the conflict path requires.
+	dm.Activate(0, 0, now)
+	dr.Activate(0, 0, now)
+	batched := 0
+	for v := 1; v < g.Rows-1; v += 2 {
+		n := 200 + (v%5)*130
+		last, ok := dm.HammerPairConflict(0, v-1, v+1, n, now, period)
+		if ok {
+			batched++
+		} else {
+			// A dist-2 cell residing in v-1 or v+1 is coupled to the
+			// other hammered row; the model correctly declines and the
+			// caller issues the commands per-activation.
+			tt := now
+			for i := 0; i < 2*n; i++ {
+				row := v - 1
+				if i%2 == 1 {
+					row = v + 1
+				}
+				dm.Precharge(0)
+				dm.Activate(0, row, tt)
+				tt += period
+			}
+			last = tt - period
+		}
+		tt := now
+		for i := 0; i < 2*n; i++ {
+			row := v - 1
+			if i%2 == 1 {
+				row = v + 1
+			}
+			dr.Precharge(0)
+			dr.Activate(0, row, tt)
+			tt += period
+		}
+		if want := tt - period; last != want {
+			t.Fatalf("victim %d: last activation %d, want %d", v, last, want)
+		}
+		now = last + period
+	}
+	if batched == 0 {
+		t.Fatal("no pair was batched; test is vacuous")
+	}
+	if m.TotalFlips() == 0 {
+		t.Fatal("no flips; test is vacuous")
+	}
+	compareState(t, dm, m, dr, r, "HammerPairConflict")
+	if dm.OpenRow(0) != dr.OpenRow(0) {
+		t.Fatalf("open row: model %d, reference %d", dm.OpenRow(0), dr.OpenRow(0))
+	}
+	if dm.Stats.Activates != dr.Stats.Activates || dm.Stats.OpEnergyPJ != dr.Stats.OpEnergyPJ {
+		t.Fatalf("stats: model %+v, reference %+v", dm.Stats, dr.Stats)
+	}
+}
+
+func TestPairBatchingDeclinesHazards(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 64, Cols: 2}
+	m := NewModel(g, Invulnerable(), rng.New(1))
+	// A dist-2 cell residing in row 10 is coupled to row 12: hammering
+	// the (10,12) pair interleaves its restore and accumulate, which
+	// batching cannot reproduce.
+	m.InjectWeakCell(0, 10, 5, 3, 1, 2, 1, 1)
+	if m.BatchablePair(0, 10, 12) {
+		t.Error("pair (10,12) with a self-coupled cell must decline batching")
+	}
+	if !m.BatchablePair(0, 30, 32) {
+		t.Error("clean pair should batch")
+	}
+	if m.BatchablePair(0, 30, 30) {
+		t.Error("identical rows must decline")
+	}
+	// Duplicate injection disables all batching.
+	m.InjectWeakCell(0, 20, 7, 3, 1, 1, 1, 1)
+	m.InjectWeakCell(0, 20, 7, 5, 0, 1, 1, 1)
+	if m.BatchableRow(0, 30) || m.BatchablePair(0, 30, 32) {
+		t.Error("duplicate cells must disable batching")
+	}
+}
+
+func TestHammerNFallbackStillEquivalent(t *testing.T) {
+	// With duplicates injected, HammerN must take the per-activation
+	// fallback and still match the reference.
+	g := dram.Geometry{Banks: 1, Rows: 64, Cols: 2}
+	dm := dram.NewDevice(g)
+	dr := dram.NewDevice(g)
+	m := NewModel(g, Invulnerable(), rng.New(1))
+	r := NewReference(g, Invulnerable(), rng.New(1))
+	for _, mod := range []func(bank, physRow, bit int, threshold float64, chargedVal uint64, dist int, up, down float64){
+		m.InjectWeakCell, r.InjectWeakCell,
+	} {
+		mod(0, 10, 3, 50, 1, 1, 1, 0.5)
+		mod(0, 10, 3, 80, 0, 1, 0.7, 1) // duplicate position
+	}
+	dm.AttachFault(m)
+	dr.AttachFault(r)
+	for b := 0; b < g.Banks; b++ {
+		for row := 0; row < g.Rows; row++ {
+			dm.FillPhysRow(b, row, 0xffffffffffffffff)
+			dr.FillPhysRow(b, row, 0xffffffffffffffff)
+		}
+	}
+	dm.HammerN(0, 9, 200, 0, 49)
+	tt := dram.Time(0)
+	for i := 0; i < 200; i++ {
+		dr.Activate(0, 9, tt)
+		dr.Precharge(0)
+		tt += 49
+	}
+	if m.TotalFlips() != r.TotalFlips() {
+		t.Fatalf("flips: model %d, reference %d", m.TotalFlips(), r.TotalFlips())
+	}
+	for row := 0; row < g.Rows; row++ {
+		wm, wr := dm.PhysRowWords(0, row), dr.PhysRowWords(0, row)
+		for c := range wm {
+			if wm[c] != wr[c] {
+				t.Fatalf("row %d col %d: model %#x, reference %#x", row, c, wm[c], wr[c])
+			}
+		}
+	}
+}

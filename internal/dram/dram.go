@@ -131,6 +131,36 @@ type FaultModel interface {
 	OnRefresh(d *Device, bank, physRow int, now Time)
 }
 
+// HammerFaultModel is the optional batched-dispatch extension of
+// FaultModel used by the HammerN/HammerPairConflict hot paths. A model
+// implementing it can apply a whole burst of activations in one call.
+//
+// Batching contract: OnActivateBatch(bank, row, n, start, period) must
+// leave the model and the device bits in exactly the state n
+// consecutive OnActivate(bank, row, t) calls at t = start, start+period,
+// ..., start+(n-1)*period would — bit-identical floats included.
+// OnHammerPairBatch(bank, rowA, rowB, n, ...) must equal n repetitions
+// of {OnActivate(rowA); OnActivate(rowB)} with the same activation
+// spacing. When a model cannot guarantee that for a particular row (or
+// pair), BatchableRow (or BatchablePair) must return false and leave
+// all state untouched; the device then falls back to per-activation
+// dispatch for every attached model, preserving cross-model
+// interleaving exactly. Batchable* must be side-effect free: the device
+// queries every model before dispatching to any.
+type HammerFaultModel interface {
+	FaultModel
+	// BatchableRow reports whether a single-row burst of physRow can be
+	// applied batched.
+	BatchableRow(bank, physRow int) bool
+	// OnActivateBatch applies n consecutive activations of physRow.
+	OnActivateBatch(d *Device, bank, physRow, n int, start, period Time)
+	// BatchablePair reports whether an alternating rowA/rowB burst can
+	// be applied batched.
+	BatchablePair(bank, rowA, rowB int) bool
+	// OnHammerPairBatch applies n alternating activation pairs.
+	OnHammerPairBatch(d *Device, bank, rowA, rowB, n int, start, period Time)
+}
+
 // Device is one DRAM rank: banks of rows of real bits plus fault
 // hooks, remapping, and accounting.
 type Device struct {
@@ -170,8 +200,11 @@ func NewDevice(g Geometry) *Device {
 			openPhysRow: -1,
 			lastRestore: make([]Time, g.Rows),
 		}
+		// One backing slab per bank: a single allocation instead of one
+		// per row, and physically consecutive rows stay cache-adjacent.
+		slab := make([]uint64, g.Rows*g.Cols)
 		for r := range bk.rows {
-			bk.rows[r] = make([]uint64, g.Cols)
+			bk.rows[r] = slab[r*g.Cols : (r+1)*g.Cols : (r+1)*g.Cols]
 		}
 		d.banks = append(d.banks, bk)
 	}
@@ -206,8 +239,13 @@ func (d *Device) bank(b int) *bank {
 }
 
 // restore applies fault hooks for a word-line raise and then marks the
-// row's charge as fully restored at time now.
+// row's charge as fully restored at time now. With no fault model
+// attached the dispatch loop is skipped entirely.
 func (d *Device) restore(b, physRow int, now Time, activate bool) {
+	if len(d.faults) == 0 {
+		d.banks[b].lastRestore[physRow] = now
+		return
+	}
 	for _, f := range d.faults {
 		if activate {
 			f.OnActivate(d, b, physRow, now)
@@ -248,6 +286,154 @@ func (d *Device) Precharge(b int) {
 
 // OpenRow returns the physical row currently open in bank b, or -1.
 func (d *Device) OpenRow(b int) int { return d.bank(b).openPhysRow }
+
+// --- Batched hammer path ---
+//
+// HammerN and HammerPairConflict apply a whole burst of activations in
+// one call, amortizing per-activation bookkeeping (stats, energy,
+// open-row checks, fault dispatch) across the burst. Both are
+// behaviourally identical to the equivalent per-command loops; when an
+// attached fault model cannot guarantee batched semantics for the
+// requested rows they fall back to (or report the need for) exact
+// per-activation dispatch. Batched energy accounting adds n*cost in
+// one operation, which is bit-identical to n separate additions as
+// long as the Energy constants are integral picojoules (the defaults
+// are) and the running total stays below 2^53.
+
+// hammerBatchable reports whether every attached fault model supports
+// batched single-row dispatch for physRow.
+func (d *Device) hammerBatchable(b, physRow int) bool {
+	for _, f := range d.faults {
+		hf, ok := f.(HammerFaultModel)
+		if !ok || !hf.BatchableRow(b, physRow) {
+			return false
+		}
+	}
+	return true
+}
+
+// HammerN performs n consecutive activate+precharge cycles of one
+// logical row, with activation i occurring at time start+i*period. It
+// is behaviourally identical to n repetitions of Activate followed by
+// Precharge — the bank must start precharged and ends precharged — and
+// returns the time of the last activation. When every attached fault
+// model supports batching, the whole burst costs O(coupled weak cells)
+// instead of O(n) dispatches.
+func (d *Device) HammerN(b, logRow, n int, start, period Time) Time {
+	if n <= 0 {
+		return start
+	}
+	bk := d.bank(b)
+	if bk.openPhysRow != -1 {
+		panic(fmt.Sprintf("dram: HammerN on bank %d with row %d open", b, bk.openPhysRow))
+	}
+	if logRow < 0 || logRow >= d.Geom.Rows {
+		panic(fmt.Sprintf("dram: HammerN row %d out of range", logRow))
+	}
+	phys := d.remap.Phys(logRow)
+	if !d.hammerBatchable(b, phys) {
+		t := start
+		for i := 0; i < n; i++ {
+			d.Activate(b, logRow, t)
+			d.Precharge(b)
+			t += period
+		}
+		return t - period
+	}
+	for _, f := range d.faults {
+		f.(HammerFaultModel).OnActivateBatch(d, b, phys, n, start, period)
+	}
+	last := start + Time(n-1)*period
+	bk.lastRestore[phys] = last
+	d.Stats.Activates += int64(n)
+	d.Stats.Precharges += int64(n)
+	d.Stats.OpEnergyPJ += d.Energy.ACT * float64(n)
+	return last
+}
+
+// hammerPairDispatch is the shared core of the pair-burst APIs:
+// fault-model negotiation and dispatch, lastRestore and
+// activate/precharge/energy accounting for 2n alternating activations
+// of rowA and rowB (rowA first) at times start, start+period, ...
+// Callers handle the open-row precondition and end state. Returns the
+// time of the last (rowB) activation, or false with no state touched
+// when the rows are out of range, alias the same physical row, or a
+// fault model declines batching.
+func (d *Device) hammerPairDispatch(b, rowA, rowB, n int, start, period Time) (Time, bool) {
+	if rowA < 0 || rowA >= d.Geom.Rows || rowB < 0 || rowB >= d.Geom.Rows {
+		return 0, false
+	}
+	physA, physB := d.remap.Phys(rowA), d.remap.Phys(rowB)
+	if physA == physB {
+		return 0, false
+	}
+	for _, f := range d.faults {
+		hf, ok := f.(HammerFaultModel)
+		if !ok || !hf.BatchablePair(b, physA, physB) {
+			return 0, false
+		}
+	}
+	for _, f := range d.faults {
+		f.(HammerFaultModel).OnHammerPairBatch(d, b, physA, physB, n, start, period)
+	}
+	bk := d.banks[b]
+	lastB := start + Time(2*n-1)*period
+	bk.lastRestore[physA] = start + Time(2*n-2)*period
+	bk.lastRestore[physB] = lastB
+	d.Stats.Activates += int64(2 * n)
+	d.Stats.Precharges += int64(2 * n)
+	d.Stats.OpEnergyPJ += d.Energy.ACT * float64(2*n)
+	return lastB, true
+}
+
+// HammerPairConflict performs 2n alternating activations of rowA and
+// rowB (rowA first) the way an open-page controller's row-conflict path
+// does: each access precharges the currently open row, then activates
+// the next, so the bank must be open on entry and is left open on the
+// final rowB activation. Activation j occurs at time start+j*period.
+// It is behaviourally identical to the equivalent
+// {Precharge; Activate} loop. It returns the time of the last
+// activation and whether the burst was applied; false means no state
+// was touched because a fault model declined batching (or the rows
+// alias the same physical row), and the caller must issue the commands
+// per-activation instead.
+func (d *Device) HammerPairConflict(b, rowA, rowB, n int, start, period Time) (Time, bool) {
+	bk := d.bank(b)
+	if n <= 0 || bk.openPhysRow == -1 {
+		return 0, false
+	}
+	last, ok := d.hammerPairDispatch(b, rowA, rowB, n, start, period)
+	if !ok {
+		return 0, false
+	}
+	bk.openPhysRow = d.remap.Phys(rowB)
+	return last, true
+}
+
+// HammerPairCycles performs n alternating activate+precharge cycles of
+// rowA and rowB (2n activations, rowA first), starting and ending
+// precharged — the closed-page analogue of HammerPairConflict and the
+// shape of the canonical SoftMC hammer kernel {ACT A; PRE; ACT B; PRE}.
+// Activation j occurs at time start+j*period. It is behaviourally
+// identical to the equivalent {Activate; Precharge} loop, with the
+// same decline semantics as HammerPairConflict.
+func (d *Device) HammerPairCycles(b, rowA, rowB, n int, start, period Time) (Time, bool) {
+	if n <= 0 || d.bank(b).openPhysRow != -1 {
+		return 0, false
+	}
+	return d.hammerPairDispatch(b, rowA, rowB, n, start, period)
+}
+
+// BatchReads accounts n column-read bursts against the open row of
+// bank b without transferring data. It is the bookkeeping half of n
+// Read calls whose data is discarded, used by batched hammer sweeps.
+func (d *Device) BatchReads(b, n int) {
+	if d.bank(b).openPhysRow == -1 {
+		panic(fmt.Sprintf("dram: BatchReads on precharged bank %d", b))
+	}
+	d.Stats.Reads += int64(n)
+	d.Stats.OpEnergyPJ += d.Energy.RD * float64(n)
+}
 
 // Read returns the 64-bit word at the given column of the open row.
 func (d *Device) Read(b, col int) uint64 {

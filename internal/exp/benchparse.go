@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"strconv"
+)
+
+// Microbench is one parsed `go test -bench` result line, embedded in
+// BENCH_*.json snapshots next to the experiment-suite summary so the
+// benchmark trajectory of the hot paths is tracked per PR.
+type Microbench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkHammerNBatched-8   20   38.85 ns/op   0 B/op   0 allocs/op
+//
+// (the -benchmem columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+// ParseGoBench extracts benchmark results from `go test -bench` text
+// output. Non-benchmark lines are ignored.
+func ParseGoBench(r io.Reader) ([]Microbench, error) {
+	var out []Microbench
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		mb := Microbench{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			mb.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			mb.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, mb)
+	}
+	return out, sc.Err()
+}
+
+// Snapshot is the full BENCH_*.json document: the experiment-suite
+// summary plus hot-path microbenchmarks.
+type Snapshot struct {
+	Summary
+	Microbenchmarks []Microbench `json:"microbenchmarks,omitempty"`
+}

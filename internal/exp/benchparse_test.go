@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGoBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/disturb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHammerSweepReferenceMaps 	      20	  12294071 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHammerNBatched-8         	      20	        38.85 ns/op	       5 B/op	       2 allocs/op
+BenchmarkNoMem                    	     100	       123 ns/op
+PASS
+ok  	repro/internal/disturb	0.328s
+`
+	got, err := ParseGoBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d lines, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkHammerSweepReferenceMaps" || got[0].Iterations != 20 || got[0].NsPerOp != 12294071 {
+		t.Errorf("line 0 parsed wrong: %+v", got[0])
+	}
+	if got[1].NsPerOp != 38.85 || got[1].BytesPerOp != 5 || got[1].AllocsPerOp != 2 {
+		t.Errorf("line 1 parsed wrong: %+v", got[1])
+	}
+	if got[2].NsPerOp != 123 || got[2].AllocsPerOp != 0 {
+		t.Errorf("line 2 parsed wrong: %+v", got[2])
+	}
+}

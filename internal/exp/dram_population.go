@@ -130,10 +130,7 @@ func runE3(seed uint64) *stats.Table {
 			sys.Device.FillPhysRow(0, r, pat)
 		}
 		for v := 1; v < g.Rows-1; v += 8 {
-			for k := 0; k < pairs; k++ {
-				sys.Ctrl.AccessCoord(coord(0, v-1), false, 0)
-				sys.Ctrl.AccessCoord(coord(0, v+1), false, 0)
-			}
+			sys.Ctrl.HammerPairs(0, v-1, v+1, pairs)
 		}
 		if i == 0 {
 			low = sys.Disturb.TotalFlips()

@@ -15,8 +15,11 @@ import (
 
 // Experiment is one registered experiment.
 type Experiment struct {
-	// ID is the experiment identifier (E1..E23).
+	// ID is the experiment identifier (E1..E29).
 	ID string
+	// Num is the numeric part of ID, parsed once at registration so
+	// sorting does not re-parse IDs (E2 < E10 requires numeric order).
+	Num int
 	// Title summarizes what is reproduced.
 	Title string
 	// Anchor cites the paper claim or figure being reproduced.
@@ -28,19 +31,17 @@ type Experiment struct {
 var registry []Experiment
 
 func register(id, title, anchor string, run func(uint64) *stats.Table) {
-	registry = append(registry, Experiment{ID: id, Title: title, Anchor: anchor, Run: run})
+	var num int
+	if _, err := fmt.Sscanf(id, "E%d", &num); err != nil {
+		panic(fmt.Sprintf("exp: experiment ID %q is not of the form E<num>: %v", id, err))
+	}
+	registry = append(registry, Experiment{ID: id, Num: num, Title: title, Anchor: anchor, Run: run})
 }
 
 // All returns every registered experiment in ID order.
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool {
-		// E2 < E10 requires numeric comparison.
-		var a, b int
-		fmt.Sscanf(out[i].ID, "E%d", &a)
-		fmt.Sscanf(out[j].ID, "E%d", &b)
-		return a < b
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
 	return out
 }
 

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// RunResult is the outcome of one experiment executed by a Runner.
+type RunResult struct {
+	// ID, Num, Title and Anchor identify the experiment.
+	ID     string
+	Num    int
+	Title  string
+	Anchor string
+	// Table is the experiment's result, nil if the run panicked.
+	Table *stats.Table
+	// Wall is the experiment's wall-clock execution time.
+	Wall time.Duration
+	// Allocs and AllocBytes are the heap allocations (objects and
+	// bytes) attributed to the run via runtime.MemStats deltas. Exact
+	// with one worker; with concurrent workers the global counters
+	// interleave, so treat them as approximate.
+	Allocs     uint64
+	AllocBytes uint64
+	// Err records a recovered panic, nil on success.
+	Err error
+}
+
+// Runner executes registered experiments on a worker pool. Experiments
+// are pure functions of their seed, so any subset can run concurrently;
+// results are collected deterministically in experiment-ID order
+// regardless of worker count or completion order, and each experiment
+// receives the same independent seed it would in a sequential run —
+// tables are bit-identical across worker counts.
+type Runner struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS.
+	Workers int
+	// Seed is handed to every experiment (results are deterministic
+	// per seed; experiments derive their internal streams from it
+	// independently of each other).
+	Seed uint64
+}
+
+// EffectiveWorkers resolves the configured pool size: Workers when
+// positive, otherwise runtime.GOMAXPROCS. Commands use it so their
+// reported worker counts agree with what Run actually does.
+func (r *Runner) EffectiveWorkers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the given experiments and returns one result per
+// experiment, sorted by numeric experiment ID. A panicking experiment
+// is recovered into its result's Err; it does not take down the run.
+func (r *Runner) Run(exps []Experiment) []RunResult {
+	ordered := append([]Experiment(nil), exps...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Num < ordered[j].Num })
+	results := make([]RunResult, len(ordered))
+	workers := r.EffectiveWorkers()
+	if workers > len(ordered) && len(ordered) > 0 {
+		workers = len(ordered)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = r.runOne(ordered[i])
+			}
+		}()
+	}
+	for i := range ordered {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// RunAll executes every registered experiment.
+func (r *Runner) RunAll() []RunResult { return r.Run(All()) }
+
+// runOne executes a single experiment, timing it and attributing
+// allocations via MemStats deltas.
+func (r *Runner) runOne(e Experiment) (res RunResult) {
+	res = RunResult{ID: e.ID, Num: e.Num, Title: e.Title, Anchor: e.Anchor}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		res.Allocs = after.Mallocs - before.Mallocs
+		res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("experiment %s panicked: %v", e.ID, p)
+		}
+	}()
+	res.Table = e.Run(r.Seed)
+	return res
+}
+
+// --- Machine-readable benchmark summary ---
+
+// Summary is the JSON-serializable record of one Runner execution,
+// written to BENCH_*.json snapshots to track the benchmark trajectory
+// across PRs. Table hashes let equivalence be checked across code
+// versions without storing the full tables.
+type Summary struct {
+	Schema      string              `json:"schema"`
+	Seed        uint64              `json:"seed"`
+	Workers     int                 `json:"workers"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	TotalWallMS float64             `json:"total_wall_ms"`
+	Experiments []ExperimentSummary `json:"experiments"`
+}
+
+// ExperimentSummary is one experiment's entry in a Summary.
+type ExperimentSummary struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	WallMS      float64 `json:"wall_ms"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Rows        int     `json:"rows"`
+	TableSHA256 string  `json:"table_sha256"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// NewSummary assembles a Summary from Runner results. totalWall is the
+// whole run's wall time (less than the per-experiment sum when workers
+// overlap).
+func NewSummary(results []RunResult, seed uint64, workers int, totalWall time.Duration) Summary {
+	s := Summary{
+		Schema:      "repro-bench/v1",
+		Seed:        seed,
+		Workers:     workers,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		TotalWallMS: float64(totalWall) / float64(time.Millisecond),
+	}
+	for _, r := range results {
+		e := ExperimentSummary{
+			ID:         r.ID,
+			Title:      r.Title,
+			WallMS:     float64(r.Wall) / float64(time.Millisecond),
+			Allocs:     r.Allocs,
+			AllocBytes: r.AllocBytes,
+		}
+		if r.Table != nil {
+			e.Rows = len(r.Table.Rows)
+			sum := sha256.Sum256([]byte(r.Table.String()))
+			e.TableSHA256 = hex.EncodeToString(sum[:])
+		}
+		if r.Err != nil {
+			e.Err = r.Err.Error()
+		}
+		s.Experiments = append(s.Experiments, e)
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

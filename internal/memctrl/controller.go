@@ -211,6 +211,99 @@ func (c *Controller) activate(bank, logRow int) {
 	}
 }
 
+// HammerPairs performs `pairs` alternating single-word read accesses to
+// (bank,rowA,col 0) and (bank,rowB,col 0) — the double-sided hammer
+// access pattern — through the normal access path. It is behaviourally
+// identical to the equivalent AccessCoord loop (same timing, refresh
+// interleaving, stats and fault physics, bit for bit) but batches whole
+// refresh-free runs of the sweep into single device calls, amortizing
+// per-activation bookkeeping across each run.
+//
+// The fast path applies only while no mitigation is attached
+// (mitigations observe, and may act on, every individual activation)
+// and every attached fault model accepts batching for the hammered row
+// pair; otherwise the loop falls back to per-access dispatch, which is
+// exact by construction.
+func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
+	coA := Coord{Bank: bank, Row: rowA}
+	coB := Coord{Bank: bank, Row: rowB}
+	naivePair := func() {
+		c.AccessCoord(coA, false, 0)
+		c.AccessCoord(coB, false, 0)
+	}
+	if len(c.mitigations) > 0 || rowA == rowB ||
+		rowA < 0 || rowA >= c.cfg.Geom.Rows || rowB < 0 || rowB >= c.cfg.Geom.Rows {
+		for i := 0; i < pairs; i++ {
+			naivePair()
+		}
+		return
+	}
+	physB := c.dev.PhysRow(rowB)
+	t := c.dev.Timing
+	// In the steady row-conflict state every access activates exactly
+	// max(tRC, tRP+tRCD+tCL+tBURST) after the previous activation and
+	// occupies the bus for the same period.
+	s := t.TRP + t.TRCD + t.TCL + t.TBURST
+	period := t.TRC
+	if s > period {
+		period = s
+	}
+	done := 0
+	for done < pairs {
+		c.serviceRefresh()
+		// The batched chunk assumes both accesses of every pair take
+		// the row-conflict branch, which holds once the bank is open on
+		// rowB; until then (first pair, or after a refresh precharged
+		// the bank) issue exact individual accesses.
+		if c.dev.OpenRow(bank) != physB {
+			naivePair()
+			done++
+			continue
+		}
+		// First activation time, mirroring the conflict branch's tRC
+		// enforcement.
+		act0 := c.now
+		if since := c.now - c.lastAct[bank]; since < t.TRC {
+			act0 += t.TRC - since
+		}
+		// Access j of the chunk starts (and its refresh-due check
+		// happens) at act0+(j-1)*period+s; cap the chunk so no refresh
+		// comes due inside it. The j=0 check already ran above.
+		maxAccesses := 2 * (pairs - done)
+		if !c.cfg.DisableRefresh {
+			if act0+s >= c.nextRefDue {
+				naivePair()
+				done++
+				continue
+			}
+			fit := uint64(c.nextRefDue-1-(act0+s))/uint64(period) + 2
+			if fit < uint64(maxAccesses) {
+				maxAccesses = int(fit)
+			}
+		}
+		k := maxAccesses / 2
+		if k == 0 {
+			naivePair()
+			done++
+			continue
+		}
+		last, ok := c.dev.HammerPairConflict(bank, rowA, rowB, k, act0, period)
+		if !ok {
+			naivePair()
+			done++
+			continue
+		}
+		c.dev.BatchReads(bank, 2*k)
+		end := last + s
+		c.Stats.Accesses += int64(2 * k)
+		c.Stats.RowConflicts += int64(2 * k)
+		c.Stats.BusyTime += end - c.now
+		c.lastAct[bank] = last
+		c.now = end
+		done += k
+	}
+}
+
 // AdvanceTo moves idle time forward to at least t, servicing refresh
 // on the way. Time never moves backwards.
 func (c *Controller) AdvanceTo(t dram.Time) {

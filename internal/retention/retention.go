@@ -103,7 +103,10 @@ type Model struct {
 	tempScale float64
 }
 
-var _ dram.FaultModel = (*Model)(nil)
+var (
+	_ dram.FaultModel       = (*Model)(nil)
+	_ dram.HammerFaultModel = (*Model)(nil)
+)
 
 // NewModel samples the weak-cell population for the given geometry.
 func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
@@ -171,6 +174,37 @@ func (m *Model) OnActivate(d *dram.Device, bank, physRow int, now dram.Time) {
 // OnRefresh implements dram.FaultModel.
 func (m *Model) OnRefresh(d *dram.Device, bank, physRow int, now dram.Time) {
 	m.applyDecay(d, bank, physRow, now)
+}
+
+// --- Batched hammer dispatch (dram.HammerFaultModel) ---
+//
+// The retention model participates in batched hammer bursts only for
+// rows that hold none of its weak cells — the overwhelmingly common
+// case for hammer sweeps. applyDecay is then a no-op for every
+// activation of the burst, so skipping the per-activation calls is
+// exact. Rows that do hold weak cells decline batching: their decay
+// checks depend on the per-activation restore times (and may consume
+// VRT random draws), so the device falls back to per-activation
+// dispatch for them.
+
+// BatchableRow implements dram.HammerFaultModel.
+func (m *Model) BatchableRow(bank, physRow int) bool {
+	return len(m.byRow[[2]int{bank, physRow}]) == 0
+}
+
+// OnActivateBatch implements dram.HammerFaultModel. Only invoked for
+// rows BatchableRow accepted, where n activations decay nothing.
+func (m *Model) OnActivateBatch(d *dram.Device, bank, physRow, n int, start, period dram.Time) {
+}
+
+// BatchablePair implements dram.HammerFaultModel.
+func (m *Model) BatchablePair(bank, rowA, rowB int) bool {
+	return m.BatchableRow(bank, rowA) && m.BatchableRow(bank, rowB)
+}
+
+// OnHammerPairBatch implements dram.HammerFaultModel. Only invoked for
+// row pairs BatchablePair accepted, where the burst decays nothing.
+func (m *Model) OnHammerPairBatch(d *dram.Device, bank, rowA, rowB, n int, start, period dram.Time) {
 }
 
 func (m *Model) applyDecay(d *dram.Device, bank, physRow int, now dram.Time) {
