@@ -11,10 +11,15 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/exp"
+	"repro/internal/modules"
 )
 
 var printOnce sync.Map
@@ -83,3 +88,40 @@ func BenchmarkE26PARARadius(b *testing.B)         { benchExperiment(b, "E26") }
 func BenchmarkE27DPDStrength(b *testing.B)        { benchExperiment(b, "E27") }
 func BenchmarkE28TRRSampling(b *testing.B)        { benchExperiment(b, "E28") }
 func BenchmarkE29RFRPhases(b *testing.B)          { benchExperiment(b, "E29") }
+func BenchmarkE30MappingLocality(b *testing.B)    { benchExperiment(b, "E30") }
+func BenchmarkE31TopologyTemplating(b *testing.B) { benchExperiment(b, "E31") }
+func BenchmarkE32PARATopology(b *testing.B)       { benchExperiment(b, "E32") }
+func BenchmarkE33ShardEquivalence(b *testing.B)   { benchExperiment(b, "E33") }
+
+// BenchmarkMultiChannelSweep is the multi-channel hammer hot path in
+// isolation: a cross-bank campaign over a 4-channel 2-rank topology,
+// channels sharded across GOMAXPROCS workers (serial variant below for
+// the sharding speedup trajectory in BENCH_*.json).
+func BenchmarkMultiChannelSweep(b *testing.B)       { benchMultiChannel(b, 0) }
+func BenchmarkMultiChannelSweepSerial(b *testing.B) { benchMultiChannel(b, 1) }
+
+func benchMultiChannel(b *testing.B, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pop := modules.Population(1)
+	var m modules.Module
+	for i := range pop {
+		if pop[i].Year == 2013 && pop[i].Vulnerable() {
+			m = pop[i].ScaleForSmallArray(100, 30, 2e-3)
+			break
+		}
+	}
+	g := dram.Geometry{Banks: 2, Rows: 128, Cols: 8}
+	topo := dram.Topology{Channels: 4, Ranks: 2, Geom: g}
+	victims := attack.EnumerateVictims(topo, 9, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mm := m
+		s := core.Build(&mm, core.Options{Topology: topo})
+		attack.CrossBankHammer(s.Mem, victims, 9000, workers)
+		if s.TotalFlips() == 0 {
+			b.Fatal("no flips; benchmark is vacuous")
+		}
+	}
+}

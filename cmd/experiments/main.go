@@ -6,14 +6,17 @@
 // Usage:
 //
 //	experiments [-seed N] [-run E4[,E5,...]] [-list] [-workers N]
-//	            [-json FILE] [-compare] [-quiet]
+//	            [-shards N] [-json FILE] [-compare] [-quiet]
 //
 // Tables are deterministic per seed and bit-identical for every worker
-// count; results print in experiment-ID order with per-experiment wall
-// time and the run's total. -json writes a machine-readable summary
-// (per-experiment wall time, allocations and table hashes) for
-// benchmark trajectory tracking; -compare additionally times a serial
-// run for a before/after wall-time comparison.
+// and shard count; results print in experiment-ID order with
+// per-experiment wall time and the run's total. -workers sizes the
+// experiment-level pool; -shards sizes the channel-level fan-out the
+// topology experiments (E30+) use inside one experiment. -json writes
+// a machine-readable summary (per-experiment wall time, allocations
+// and table hashes) for benchmark trajectory tracking; -compare
+// additionally times a serial run for a before/after wall-time
+// comparison.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	run := flag.String("run", "", "run a comma-separated subset of experiments by ID (e.g. E4,E21)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "channel-shard fan-out inside each experiment (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable run summary to this file")
 	compare := flag.Bool("compare", false, "also run serially and print the parallel-vs-serial wall times")
 	quiet := flag.Bool("quiet", false, "suppress tables, print only timings")
@@ -56,7 +60,7 @@ func main() {
 		}
 	}
 
-	runner := &exp.Runner{Workers: *workers, Seed: *seed}
+	runner := &exp.Runner{Workers: *workers, Seed: *seed, ShardWorkers: *shards}
 	start := time.Now()
 	results := runner.Run(selected)
 	wall := time.Since(start)
@@ -80,7 +84,7 @@ func main() {
 		float64(wall)/float64(time.Millisecond), len(results), effWorkers)
 
 	if *compare {
-		serial := &exp.Runner{Workers: 1, Seed: *seed}
+		serial := &exp.Runner{Workers: 1, Seed: *seed, ShardWorkers: 1}
 		sStart := time.Now()
 		serial.Run(selected)
 		sWall := time.Since(sStart)

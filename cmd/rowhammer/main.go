@@ -1,13 +1,18 @@
 // Command rowhammer is the simulated analogue of the original
-// user-level RowHammer test program: it instantiates a module class,
-// hammers rows through the memory controller, and reports every bit
-// flip it induces, with optional mitigation enabled to watch flips
-// disappear.
+// user-level RowHammer test program: it instantiates a module class as
+// a (possibly multi-channel, multi-rank) topology, hammers rows in
+// every bank of every device through the memory controllers, and
+// reports every bit flip it induces, with optional mitigation enabled
+// to watch flips disappear. The -mapping flag selects the address
+// mapping policy, which changes which flat addresses an attacker would
+// have to touch but not the physical adjacency the attack exploits.
 //
 // Usage:
 //
 //	rowhammer [-year 2013] [-pairs 30000] [-mode double|single|many]
 //	          [-mitigate none|para|cra|trr|anvil|refresh7] [-seed N]
+//	          [-channels 1] [-ranks 1] [-mapping row|channel|xor]
+//	          [-shards N]
 package main
 
 import (
@@ -29,6 +34,10 @@ func main() {
 	mode := flag.String("mode", "double", "hammer mode: double, single, many")
 	mitigate := flag.String("mitigate", "none", "mitigation: none, para, cra, trr, anvil, refresh7")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	channels := flag.Int("channels", 1, "number of channels")
+	ranks := flag.Int("ranks", 1, "ranks per channel")
+	mapping := flag.String("mapping", "row", "address mapping policy: row, channel, xor")
+	shards := flag.Int("shards", 0, "channel-shard worker count (0 = serial)")
 	flag.Parse()
 
 	pop := modules.Population(*seed)
@@ -43,75 +52,107 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no module of year %d\n", *year)
 		os.Exit(1)
 	}
-	m := *mod
-	if m.Vulnerable() {
-		// Scale thresholds so a CLI run finishes in seconds; the
-		// full-scale numbers come from the analytic model (see E3/E4).
-		m.Vuln.MinThreshold /= 50
-		m.Vuln.ThresholdMedian /= 50
+	// Scale thresholds so a CLI run finishes in seconds; the
+	// full-scale numbers come from the analytic model (see E3/E4).
+	m := mod.ScaleForSmallArray(50, 1, 0)
+	topo := dram.Topology{
+		Channels: *channels,
+		Ranks:    *ranks,
+		Geom:     dram.Geometry{Banks: 1, Rows: 1024, Cols: 8},
 	}
-	g := dram.Geometry{Banks: 1, Rows: 1024, Cols: 8}
-	cfg := core.Options{Geom: g}
+	cfg := core.Options{Topology: topo, Mapping: *mapping}
 	if *mitigate == "refresh7" {
 		cfg.RefreshMultiplier = 7
 	}
 	s := core.Build(&m, cfg)
+	g := topo.Geom
 	switch *mitigate {
 	case "none", "refresh7":
 	case "para":
-		s.AttachPARA(0.01, memctrl.InDRAM, rng.New(*seed^2))
+		s.AttachPARAEachChannel(0.01, rng.New(*seed^2))
 	case "cra":
-		s.Ctrl.Attach(memctrl.NewCRA(int64(s.Disturb.MinThreshold()), 1, g.Rows))
+		for ch := 0; ch < topo.Channels; ch++ {
+			s.Mem.Controller(ch).Attach(
+				memctrl.NewCRA(int64(s.Disturb.MinThreshold()), topo.Ranks*g.Banks, g.Rows))
+		}
 	case "trr":
-		s.Ctrl.Attach(memctrl.NewTRR(8, 0.01, rng.New(*seed^3)))
+		trrSrc := rng.New(*seed ^ 3)
+		for ch := 0; ch < topo.Channels; ch++ {
+			s.Mem.Controller(ch).Attach(memctrl.NewTRR(8, 0.01, trrSrc.Split()))
+		}
 	case "anvil":
-		s.Ctrl.Attach(memctrl.NewANVIL())
+		for ch := 0; ch < topo.Channels; ch++ {
+			s.Mem.Controller(ch).Attach(memctrl.NewANVIL())
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mitigation %q\n", *mitigate)
 		os.Exit(1)
 	}
 
+	weak := 0
+	for _, dms := range s.Disturbs {
+		for _, dm := range dms {
+			weak += dm.WeakCellCount()
+		}
+	}
 	fmt.Printf("module %s (year %d, vendor %s), vulnerable=%v, weak cells=%d\n",
-		m.ID, m.Year, m.Vendor, m.Vulnerable(), s.Disturb.WeakCellCount())
-	fmt.Printf("mode=%s pairs=%d mitigation=%s\n", *mode, *pairs, *mitigate)
+		m.ID, m.Year, m.Vendor, m.Vulnerable(), weak)
+	fmt.Printf("topology=%s mapping=%s mode=%s pairs=%d mitigation=%s\n",
+		topo, s.Mem.Policy().Name(), *mode, *pairs, *mitigate)
 
 	// Fill memory with a checkerboard so both true- and anti-cells sit
 	// in their charged state somewhere, as the original test program's
-	// pattern passes do.
-	for r := 0; r < g.Rows; r++ {
-		pattern := uint64(0xaaaaaaaaaaaaaaaa)
-		if r%2 == 1 {
-			pattern = 0x5555555555555555
+	// pattern passes do. Writes go through each channel's controller.
+	s.Mem.ShardChannels(*shards, func(ch int, c *memctrl.Controller) {
+		for rk := 0; rk < topo.Ranks; rk++ {
+			for b := 0; b < g.Banks; b++ {
+				for r := 0; r < g.Rows; r++ {
+					pattern := uint64(0xaaaaaaaaaaaaaaaa)
+					if r%2 == 1 {
+						pattern = 0x5555555555555555
+					}
+					for col := 0; col < g.Cols; col++ {
+						c.AccessRanked(rk, memctrl.Coord{Bank: b, Row: r, Col: col}, true, pattern)
+					}
+				}
+			}
 		}
-		for c := 0; c < g.Cols; c++ {
-			s.Ctrl.AccessCoord(memctrl.Coord{Bank: 0, Row: r, Col: c}, true, pattern)
-		}
-	}
+	})
 
+	victims := attack.EnumerateVictims(topo, 17, 16)
 	switch *mode {
 	case "double":
-		for v := 17; v < g.Rows-1; v += 16 {
-			attack.DoubleSided(s.Ctrl, 0, v, *pairs)
-		}
+		attack.CrossBankHammer(s.Mem, victims, *pairs, *shards)
 	case "single":
-		for v := 17; v < g.Rows-1; v += 16 {
-			attack.SingleSided(s.Ctrl, 0, v, (v+g.Rows/2)%g.Rows, *pairs)
-		}
+		s.Mem.ShardChannels(*shards, func(ch int, c *memctrl.Controller) {
+			for _, v := range victims {
+				if v.Channel == ch {
+					c.HammerPairsRanked(v.Rank, v.Bank, v.Row, (v.Row+g.Rows/2)%g.Rows, *pairs)
+				}
+			}
+		})
 	case "many":
 		var rows []int
 		for v := 17; v < g.Rows-1; v += 16 {
 			rows = append(rows, v-1, v+1)
 		}
-		attack.ManySided(s.Ctrl, 0, rows, *pairs)
+		s.Mem.ShardChannels(*shards, func(ch int, c *memctrl.Controller) {
+			for rk := 0; rk < topo.Ranks; rk++ {
+				for b := 0; b < g.Banks; b++ {
+					attack.ManySidedRanked(c, rk, b, rows, *pairs)
+				}
+			}
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
 
-	fmt.Printf("activations issued: %d\n", s.Device.Stats.Activates)
-	fmt.Printf("bit flips induced:  %d\n", s.Disturb.TotalFlips())
-	fmt.Printf("mitigation refreshes: %d\n", s.Ctrl.Stats.MitRefreshes)
-	if s.Disturb.TotalFlips() > 0 {
+	dstats := s.Mem.AggregateDeviceStats()
+	fmt.Printf("activations issued: %d\n", dstats.Activates)
+	fmt.Printf("bit flips induced:  %d\n", s.TotalFlips())
+	fmt.Printf("mitigation refreshes: %d\n", s.Mem.AggregateStats().MitRefreshes)
+	if s.TotalFlips() > 0 {
 		fmt.Println("RESULT: VULNERABLE — memory isolation violated")
 	} else {
 		fmt.Println("RESULT: no flips observed")

@@ -17,24 +17,33 @@
 // entire stack in Go:
 //
 //   - internal/dram, internal/disturb, internal/retention: the DRAM
-//     device and its two failure mechanisms. The disturbance hot path
-//     uses dense flat-slice indexes and batched burst dispatch
+//     device (one rank) and its two failure mechanisms, plus
+//     dram.Topology describing channel/rank shape. The disturbance hot
+//     path uses dense flat-slice indexes and batched burst dispatch
 //     (dram.HammerFaultModel); see README.md for the batching contract
 //     and measured speedups.
-//   - internal/memctrl: the memory controller with the pluggable
-//     mitigation registry (PARA, CRA, TRR, ANVIL, refresh scaling) and
-//     the batched HammerPairs sweep path.
+//   - internal/memctrl: the memory-controller stack: pluggable
+//     address-mapping policies (row-interleaved, channel-interleaved,
+//     XOR bank hash), the per-channel multi-rank Controller with the
+//     pluggable mitigation registry (PARA, CRA, TRR, ANVIL, refresh
+//     scaling) and batched HammerPairs sweep path, and the
+//     multi-channel MemorySystem with channel-sharded execution.
 //   - internal/ecc, internal/spd: SECDED(72,64) and the adjacency ROM
-//   - internal/modules: the 129-module population behind Figure 1
-//   - internal/attack: hammer kernels, templating, privilege
-//     escalation, cross-VM
+//   - internal/modules: the 129-module population behind Figure 1,
+//     with per-device RNG substreams for multi-device topologies
+//   - internal/attack: hammer kernels, mapping-aware adjacency
+//     probing, topology-wide templating, cross-bank parallel
+//     hammering, privilege escalation, cross-VM
+//   - internal/workload: Coord-based and flat-address access-stream
+//     generators (the latter decoded by the active mapping policy)
 //   - internal/flash, internal/ftl: MLC NAND in the threshold-voltage
 //     domain plus FCR, RFR, NAC and read-disturb management
 //   - internal/pcm: Start-Gap wear leveling under write attack
 //   - internal/profile, internal/core, internal/exp: profiling,
-//     analysis, the E1-E29 experiment registry, and the parallel
-//     experiment Runner with its machine-readable benchmark summaries
-//     (BENCH_*.json)
+//     analysis, topology-aware system building (core.Build), the
+//     E1-E33 experiment registry, and the parallel experiment Runner
+//     (experiment-level pool plus channel-level sharding) with its
+//     machine-readable benchmark summaries (BENCH_*.json)
 //
 // This facade re-exports the handful of entry points downstream code
 // needs; everything else is importable within the module from the
@@ -63,7 +72,7 @@ func Build(m *Module, opt Options) *System { return core.Build(m, opt) }
 // Population returns the 129-module study population.
 func Population(seed uint64) []Module { return modules.Population(seed) }
 
-// Experiments lists the registered experiments (E1..E29).
+// Experiments lists the registered experiments (E1..E33).
 func Experiments() []exp.Experiment { return exp.All() }
 
 // Runner executes experiments on a parallel worker pool; results are

@@ -34,9 +34,15 @@ func SingleSided(c *memctrl.Controller, bank, aggrRow, dummyRow, pairs int) {
 // defeats sampler-based in-DRAM mitigations (TRR) by exceeding the
 // sampler's capacity. rounds is the number of full cycles.
 func ManySided(c *memctrl.Controller, bank int, aggressors []int, rounds int) {
+	ManySidedRanked(c, 0, bank, aggressors, rounds)
+}
+
+// ManySidedRanked is ManySided on an explicit rank of a multi-rank
+// channel.
+func ManySidedRanked(c *memctrl.Controller, rank, bank int, aggressors []int, rounds int) {
 	for r := 0; r < rounds; r++ {
 		for _, row := range aggressors {
-			c.AccessCoord(memctrl.Coord{Bank: bank, Row: row}, false, 0)
+			c.AccessRanked(rank, memctrl.Coord{Bank: bank, Row: row}, false, 0)
 		}
 	}
 }

@@ -21,8 +21,17 @@ import (
 // Options configures how a module is instantiated as a system.
 type Options struct {
 	// Geom is the simulated device geometry (smaller than the real
-	// module; physics scale by cell count).
+	// module; physics scale by cell count). Ignored when Topology is
+	// set.
 	Geom dram.Geometry
+	// Topology is the channel/rank shape of the system. Zero means a
+	// single channel with a single rank of Geom — the original
+	// one-device stack, bit for bit.
+	Topology dram.Topology
+	// Mapping selects the address-mapping policy by name ("row",
+	// "channel", "xor"); empty means row-interleaved, the original
+	// layout.
+	Mapping string
 	// RefreshMultiplier scales the refresh rate (the paper's
 	// "immediate solution"). Zero means nominal.
 	RefreshMultiplier float64
@@ -38,26 +47,84 @@ func DefaultGeom() dram.Geometry {
 	return dram.Geometry{Banks: 1, Rows: 2048, Cols: 16}
 }
 
-// System is one instantiated memory system.
+// System is one instantiated memory system: a topology of devices
+// built from one module's physics, per-channel controllers behind a
+// mapping policy, and the ground-truth fault models.
+//
+// Device, Ctrl, Disturb and Retention alias channel 0 / rank 0, so
+// code written against the single-device stack keeps working unchanged
+// (and is exactly equivalent on single-channel systems).
 type System struct {
-	Module    *modules.Module
+	Module *modules.Module
+	Topo   dram.Topology
+	// Mem routes flat addresses through the active mapping policy.
+	Mem *memctrl.MemorySystem
+	// Devices, Disturbs and Retentions are indexed [channel][rank].
+	Devices    [][]*dram.Device
+	Disturbs   [][]*disturb.Model
+	Retentions [][]*retention.Model
+
 	Device    *dram.Device
 	Ctrl      *memctrl.Controller
 	Disturb   *disturb.Model
 	Retention *retention.Model
 }
 
-// Build instantiates a module as a simulated system.
+// Build instantiates a module as a simulated system. Each device of a
+// multi-device topology draws its physics from its own RNG substream
+// of the module seed (modules.Module.DeviceN), so channel 0 / rank 0
+// is bit-identical to the device the single-channel stack builds.
 func Build(m *modules.Module, opt Options) *System {
-	if opt.Geom.Banks == 0 {
-		opt.Geom = DefaultGeom()
+	if opt.Topology.IsZero() {
+		g := opt.Geom
+		if g.Banks == 0 {
+			g = DefaultGeom()
+		}
+		opt.Topology = dram.SingleChannel(g)
 	}
-	dev, dm, rm := m.Device(opt.Geom, opt.RemapFraction)
-	ctrl := memctrl.New(dev, memctrl.Config{
+	if err := opt.Topology.Validate(); err != nil {
+		panic(err)
+	}
+	policy, err := memctrl.PolicyByName(opt.Mapping, opt.Topology)
+	if err != nil {
+		panic(err)
+	}
+	t := opt.Topology
+	s := &System{Module: m, Topo: t}
+	for ch := 0; ch < t.Channels; ch++ {
+		var devs []*dram.Device
+		var dms []*disturb.Model
+		var rms []*retention.Model
+		for rk := 0; rk < t.Ranks; rk++ {
+			dev, dm, rm := m.DeviceN(t.Geom, opt.RemapFraction, ch*t.Ranks+rk)
+			devs = append(devs, dev)
+			dms = append(dms, dm)
+			rms = append(rms, rm)
+		}
+		s.Devices = append(s.Devices, devs)
+		s.Disturbs = append(s.Disturbs, dms)
+		s.Retentions = append(s.Retentions, rms)
+	}
+	s.Mem = memctrl.NewSystem(s.Devices, policy, memctrl.Config{
 		RefreshMultiplier: opt.RefreshMultiplier,
 		DisableRefresh:    opt.DisableRefresh,
 	})
-	return &System{Module: m, Device: dev, Ctrl: ctrl, Disturb: dm, Retention: rm}
+	s.Device = s.Devices[0][0]
+	s.Ctrl = s.Mem.Controller(0)
+	s.Disturb = s.Disturbs[0][0]
+	s.Retention = s.Retentions[0][0]
+	return s
+}
+
+// TotalFlips sums disturbance flips across every device of the system.
+func (s *System) TotalFlips() int64 {
+	var total int64
+	for _, dms := range s.Disturbs {
+		for _, dm := range dms {
+			total += dm.TotalFlips()
+		}
+	}
+	return total
 }
 
 // AttachPARA attaches PARA in the given placement, wiring the SPD
@@ -74,6 +141,20 @@ func (s *System) AttachPARA(p float64, where memctrl.Placement, src *rng.Stream)
 	para := memctrl.NewPARA(p, where, oracle, src)
 	s.Ctrl.Attach(para)
 	return para
+}
+
+// AttachPARAEachChannel attaches an independent in-DRAM PARA instance
+// to every channel, each drawing from its own split of src. In-DRAM
+// placement is the correct one for multi-rank channels: the device
+// knows its own remap, so adjacency stays exact on every rank.
+func (s *System) AttachPARAEachChannel(p float64, src *rng.Stream) []*memctrl.PARA {
+	var out []*memctrl.PARA
+	for ch := 0; ch < s.Topo.Channels; ch++ {
+		para := memctrl.NewPARA(p, memctrl.InDRAM, nil, src.Split())
+		s.Mem.Controller(ch).Attach(para)
+		out = append(out, para)
+	}
+	return out
 }
 
 // --- Closed-form reliability analysis (ISCA 2014 Section 8) ---

@@ -152,3 +152,68 @@ func TestFITConversion(t *testing.T) {
 		t.Fatalf("FIT(114y) = %v, want ~1000", fit)
 	}
 }
+
+// TestBuildTopologyAliases checks the channel-0/rank-0 compatibility
+// aliases and the shape of a multi-channel build.
+func TestBuildTopologyAliases(t *testing.T) {
+	topo := dram.Topology{Channels: 2, Ranks: 2, Geom: dram.Geometry{Banks: 2, Rows: 64, Cols: 4}}
+	s := Build(vulnerableModule(t), Options{Topology: topo, Mapping: "xor"})
+	if s.Mem.Channels() != 2 || len(s.Devices) != 2 || len(s.Devices[0]) != 2 {
+		t.Fatalf("topology shape wrong: %d channels, %v devices", s.Mem.Channels(), len(s.Devices))
+	}
+	if s.Device != s.Devices[0][0] || s.Ctrl != s.Mem.Controller(0) ||
+		s.Disturb != s.Disturbs[0][0] || s.Retention != s.Retentions[0][0] {
+		t.Fatal("channel-0/rank-0 aliases broken")
+	}
+	if s.Mem.Policy().Name() != "xor-bank-hash" {
+		t.Fatalf("mapping not applied: %s", s.Mem.Policy().Name())
+	}
+	// Devices must draw independent physics substreams.
+	if s.Disturbs[0][0].WeakCellCount() == 0 {
+		t.Fatal("no weak cells on device 0; substream test is vacuous")
+	}
+	same := true
+	for ch := range s.Devices {
+		for rk := range s.Devices[ch] {
+			if ch == 0 && rk == 0 {
+				continue
+			}
+			if s.Disturbs[ch][rk].WeakCellCount() != s.Disturbs[0][0].WeakCellCount() {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("all devices have identical weak-cell counts; substreams look cloned")
+	}
+}
+
+// TestBuildSingleChannelBitIdentical proves that an explicit 1x1
+// topology builds the exact device the legacy single-device path
+// builds: same weak cells, same remap, same cell physics stream.
+func TestBuildSingleChannelBitIdentical(t *testing.T) {
+	m := vulnerableModule(t)
+	g := dram.Geometry{Banks: 2, Rows: 128, Cols: 4}
+	legacy := Build(m, Options{Geom: g, RemapFraction: 0.2})
+	topo := Build(m, Options{Topology: dram.SingleChannel(g), RemapFraction: 0.2, Mapping: "row"})
+	if legacy.Disturb.WeakCellCount() != topo.Disturb.WeakCellCount() {
+		t.Fatalf("weak cells differ: %d vs %d",
+			legacy.Disturb.WeakCellCount(), topo.Disturb.WeakCellCount())
+	}
+	for r := 0; r < g.Rows; r++ {
+		if legacy.Device.PhysRow(r) != topo.Device.PhysRow(r) {
+			t.Fatalf("remap differs at row %d", r)
+		}
+	}
+	// Same hammer campaign, bit-identical flips.
+	for v := 3; v < g.Rows-1; v += 11 {
+		legacy.Ctrl.HammerPairs(0, v-1, v+1, 2000)
+		topo.Ctrl.HammerPairs(0, v-1, v+1, 2000)
+	}
+	if a, b := legacy.Disturb.TotalFlips(), topo.Disturb.TotalFlips(); a != b {
+		t.Fatalf("flips differ: %d vs %d", a, b)
+	}
+	if legacy.Ctrl.Stats != topo.Ctrl.Stats {
+		t.Fatal("controller stats differ")
+	}
+}

@@ -1,0 +1,62 @@
+package dram
+
+import "fmt"
+
+// Topology describes the shape of a whole memory system: how many
+// channels it has, how many ranks hang off each channel, and the
+// per-rank device geometry. One Device models one rank; a topology of
+// Channels*Ranks devices is owned by memctrl.MemorySystem.
+//
+// The zero value is not valid; use SingleChannel for the classic
+// one-device world or fill the fields and Validate.
+type Topology struct {
+	// Channels is the number of independent channels, each with its own
+	// controller, command bus, refresh engine and mitigation registry.
+	Channels int
+	// Ranks is the number of ranks (devices) per channel. Ranks share
+	// their channel's bus but have independent bank state.
+	Ranks int
+	// Geom is the geometry of every rank. All ranks are identical
+	// parts, as they are on a real DIMM.
+	Geom Geometry
+}
+
+// SingleChannel returns the degenerate one-channel one-rank topology
+// that matches the original single-device stack exactly.
+func SingleChannel(g Geometry) Topology {
+	return Topology{Channels: 1, Ranks: 1, Geom: g}
+}
+
+// IsZero reports whether the topology is unset.
+func (t Topology) IsZero() bool { return t.Channels == 0 && t.Ranks == 0 }
+
+// Validate reports whether the topology is usable.
+func (t Topology) Validate() error {
+	if t.Channels <= 0 || t.Ranks <= 0 {
+		return fmt.Errorf("dram: invalid topology %+v", t)
+	}
+	return t.Geom.Validate()
+}
+
+// Devices returns the total number of devices (ranks) in the system.
+func (t Topology) Devices() int { return t.Channels * t.Ranks }
+
+// TotalBanks returns the number of independently schedulable banks
+// across the whole system.
+func (t Topology) TotalBanks() int { return t.Devices() * t.Geom.Banks }
+
+// TotalRows returns the number of rows across the whole system.
+func (t Topology) TotalRows() int { return t.TotalBanks() * t.Geom.Rows }
+
+// TotalCells returns the number of cells (bits) in the system.
+func (t Topology) TotalCells() int64 {
+	return int64(t.Devices()) * t.Geom.TotalCells()
+}
+
+// Bytes returns the addressable capacity of the system in bytes.
+func (t Topology) Bytes() uint64 { return uint64(t.TotalCells() / 8) }
+
+// String formats the topology for result tables, e.g. "2ch x 2rk".
+func (t Topology) String() string {
+	return fmt.Sprintf("%dch x %drk", t.Channels, t.Ranks)
+}

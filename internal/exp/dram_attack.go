@@ -41,14 +41,8 @@ func runE21(seed uint64) *stats.Table {
 	for _, cfg := range configs {
 		var m modules.Module
 		if cfg.vuln {
-			m = *pickModule(pop, cfg.year)
-			m.Vuln.MinThreshold /= 100
-			m.Vuln.ThresholdMedian /= 100
 			// Densify so the small array holds usable weak cells.
-			m.Vuln.WeakCellFraction *= 30
-			if m.Vuln.WeakCellFraction > 2e-3 {
-				m.Vuln.WeakCellFraction = 2e-3
-			}
+			m = pickModule(pop, cfg.year).ScaleForSmallArray(100, 30, 2e-3)
 		} else {
 			for i := range pop {
 				if pop[i].Year == cfg.year && !pop[i].Vulnerable() {

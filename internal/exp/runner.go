@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -48,6 +49,32 @@ type Runner struct {
 	// per seed; experiments derive their internal streams from it
 	// independently of each other).
 	Seed uint64
+	// ShardWorkers is the channel-shard fan-out available to each
+	// experiment on top of the experiment-level pool: topology
+	// experiments read it via Shards() and split independent channels
+	// across that many goroutines. <= 0 means runtime.GOMAXPROCS.
+	// Results are bit-identical for every value (sharded channels
+	// share no state; see memctrl.MemorySystem.ShardChannels).
+	ShardWorkers int
+}
+
+// shardWorkers is the fan-out published by the Runner currently
+// executing. Experiments are plain func(seed) with no way to thread a
+// per-run value, so this is a package global: atomic because Runners
+// may overlap (tests, library users), restored after each Run so the
+// value does not leak past it. Overlapping Runners with different
+// explicit fan-outs see last-writer-wins, which never changes results
+// (tables are shard-count invariant), only intra-experiment wall time.
+var shardWorkers atomic.Int64
+
+// Shards returns the channel-shard fan-out experiments should use for
+// intra-experiment parallelism: the running Runner's ShardWorkers, or
+// GOMAXPROCS when none is set.
+func Shards() int {
+	if n := shardWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // EffectiveWorkers resolves the configured pool size: Workers when
@@ -64,6 +91,10 @@ func (r *Runner) EffectiveWorkers() int {
 // experiment, sorted by numeric experiment ID. A panicking experiment
 // is recovered into its result's Err; it does not take down the run.
 func (r *Runner) Run(exps []Experiment) []RunResult {
+	if r.ShardWorkers > 0 {
+		prev := shardWorkers.Swap(int64(r.ShardWorkers))
+		defer shardWorkers.Store(prev)
+	}
 	ordered := append([]Experiment(nil), exps...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Num < ordered[j].Num })
 	results := make([]RunResult, len(ordered))

@@ -1,8 +1,13 @@
-// Package memctrl implements the memory controller: address mapping,
-// open-page access path with DDR3-class latency and energy accounting,
-// the periodic auto-refresh engine (with the configurable refresh-rate
-// multiplier that is the paper's "immediate solution"), and a registry
-// of pluggable RowHammer mitigations — PARA in its three placements,
+// Package memctrl implements the memory controller stack: pluggable
+// address mapping (MappingPolicy: row-interleaved open-page,
+// cache-line channel/bank-interleaved, DRAMA-style XOR bank hash), the
+// per-channel Controller with its open-page access path, DDR3-class
+// latency and energy accounting and periodic auto-refresh engine (with
+// the configurable refresh-rate multiplier that is the paper's
+// "immediate solution"), the multi-channel MemorySystem that routes
+// flat physical addresses through the active policy and rolls
+// per-channel stats into aggregate accounting, and a registry of
+// pluggable RowHammer mitigations — PARA in its three placements,
 // counter-based detection (CRA), in-DRAM targeted-refresh sampling
 // (TRR), and ANVIL-style software detection.
 //
@@ -20,14 +25,16 @@ import (
 	"repro/internal/dram"
 )
 
-// AddressMap translates flat physical byte addresses to DRAM
-// coordinates. The layout is row:bank:col:offset (row-interleaved,
-// open-page friendly): consecutive cache lines hit the same row.
+// AddressMap translates flat physical byte addresses to within-rank
+// DRAM coordinates. The layout is row:bank:col:offset (row-interleaved,
+// open-page friendly): consecutive cache lines hit the same row. It is
+// the single-device ancestor of MappingPolicy; RowInterleaved over a
+// 1-channel 1-rank topology decodes bit-identically.
 type AddressMap struct {
 	Geom dram.Geometry
 }
 
-// Coord is a decoded DRAM coordinate.
+// Coord is a decoded within-rank DRAM coordinate.
 type Coord struct {
 	Bank, Row, Col int
 }
@@ -60,6 +67,10 @@ func (a AddressMap) Bytes() uint64 {
 
 // Config parameterizes a controller.
 type Config struct {
+	// Geom is derived from the controlled device(s); leave it zero.
+	// A non-zero Geom that disagrees with the device geometry is a
+	// wiring bug and New panics on it rather than silently overwriting
+	// the caller's value.
 	Geom dram.Geometry
 	// RefreshMultiplier scales the refresh rate: 1 is the nominal
 	// 64 ms window, 2 refreshes twice as often (32 ms window), etc.
@@ -83,34 +94,73 @@ type Stats struct {
 	MitTime       dram.Time
 }
 
-// Controller drives one dram.Device.
+// Add accumulates other into s (aggregate roll-up across channels).
+// Time-like fields add too: they are totals of per-channel busy time,
+// not wall-clock.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.RowConflicts += other.RowConflicts
+	s.AutoRefreshes += other.AutoRefreshes
+	s.MitRefreshes += other.MitRefreshes
+	s.BusyTime += other.BusyTime
+	s.RefreshTime += other.RefreshTime
+	s.MitTime += other.MitTime
+}
+
+// Controller drives one channel: a set of identical ranks sharing the
+// channel's command bus, refresh engine and mitigation registry.
+// Coord-based methods address rank 0, which keeps the original
+// single-device API (and its results) intact; rank-aware callers use
+// AccessRanked/AccessLoc.
 type Controller struct {
-	cfg  Config
-	dev  *dram.Device
-	amap AddressMap
+	cfg   Config
+	ranks []*dram.Device
+	amap  AddressMap
 
 	now        dram.Time
 	nextRefDue dram.Time
 	refPeriod  dram.Time
-	lastAct    []dram.Time // per bank, for tRC enforcement
+	lastAct    []dram.Time // per flat bank (rank*Banks+bank), for tRC enforcement
 
 	mitigations []Mitigation
 	Stats       Stats
 }
 
-// New creates a controller over the given device.
+// New creates a controller over one device (a single-rank channel).
+// Config.Geom is derived from the device; see Config.
 func New(dev *dram.Device, cfg Config) *Controller {
+	return NewMultiRank([]*dram.Device{dev}, cfg)
+}
+
+// NewMultiRank creates a controller driving a set of identical ranks.
+// It panics when the rank set is empty, the ranks' geometries disagree,
+// or a non-zero cfg.Geom disagrees with the device geometry.
+func NewMultiRank(devs []*dram.Device, cfg Config) *Controller {
+	if len(devs) == 0 {
+		panic("memctrl: NewMultiRank with no ranks")
+	}
+	g := devs[0].Geom
+	for i, d := range devs {
+		if d.Geom != g {
+			panic(fmt.Sprintf("memctrl: rank %d geometry %+v disagrees with rank 0 %+v", i, d.Geom, g))
+		}
+	}
+	if cfg.Geom != (dram.Geometry{}) && cfg.Geom != g {
+		panic(fmt.Sprintf("memctrl: Config.Geom %+v disagrees with device geometry %+v (leave Geom zero; it is derived)", cfg.Geom, g))
+	}
 	if cfg.RefreshMultiplier <= 0 {
 		cfg.RefreshMultiplier = 1
 	}
-	cfg.Geom = dev.Geom
+	cfg.Geom = g
 	c := &Controller{
 		cfg:     cfg,
-		dev:     dev,
-		amap:    AddressMap{Geom: dev.Geom},
-		lastAct: make([]dram.Time, dev.Geom.Banks),
+		ranks:   devs,
+		amap:    AddressMap{Geom: g},
+		lastAct: make([]dram.Time, len(devs)*g.Banks),
 	}
-	c.refPeriod = dram.Time(float64(dev.Timing.TREFI) / cfg.RefreshMultiplier)
+	c.refPeriod = dram.Time(float64(devs[0].Timing.TREFI) / cfg.RefreshMultiplier)
 	if c.refPeriod < 1 {
 		c.refPeriod = 1
 	}
@@ -118,39 +168,63 @@ func New(dev *dram.Device, cfg Config) *Controller {
 	return c
 }
 
-// Device returns the controlled device (experiment instrumentation).
-func (c *Controller) Device() *dram.Device { return c.dev }
+// Device returns rank 0 (experiment instrumentation; the whole device
+// for single-rank channels).
+func (c *Controller) Device() *dram.Device { return c.ranks[0] }
 
-// Map returns the controller's address map.
+// Rank returns the device behind the given rank index.
+func (c *Controller) Rank(i int) *dram.Device { return c.ranks[i] }
+
+// NumRanks returns how many ranks the controller drives.
+func (c *Controller) NumRanks() int { return len(c.ranks) }
+
+// Map returns the controller's rank-0 address map.
 func (c *Controller) Map() AddressMap { return c.amap }
 
 // Now returns the current simulated time.
 func (c *Controller) Now() dram.Time { return c.now }
 
-// Attach registers a mitigation. Mitigations see every activate.
+// Attach registers a mitigation. Mitigations see every activate on
+// every rank; the bank index they observe is the flat rank*Banks+bank,
+// which equals the plain bank index on single-rank channels.
 func (c *Controller) Attach(m Mitigation) { c.mitigations = append(c.mitigations, m) }
 
 // Mitigations returns the attached mitigations.
 func (c *Controller) Mitigations() []Mitigation { return c.mitigations }
 
+// splitFlatBank decodes a flat rank*Banks+bank index.
+func (c *Controller) splitFlatBank(flat int) (rank, bank int) {
+	return flat / c.cfg.Geom.Banks, flat % c.cfg.Geom.Banks
+}
+
+// PhysRowAt translates a logical row to its physical row on the rank
+// behind the given flat bank index (mitigation adjacency lookups).
+func (c *Controller) PhysRowAt(flatBank, logRow int) int {
+	rank, _ := c.splitFlatBank(flatBank)
+	return c.ranks[rank].PhysRow(logRow)
+}
+
 // serviceRefresh issues any REF commands that have come due. Refresh
-// stalls the device for tRFC each, which is how the refresh-rate
-// solution's performance overhead arises.
+// stalls the channel for tRFC each, which is how the refresh-rate
+// solution's performance overhead arises. Ranks refresh in lockstep:
+// one REF event services every rank.
 func (c *Controller) serviceRefresh() {
 	if c.cfg.DisableRefresh {
 		return
 	}
 	for c.now >= c.nextRefDue {
 		// REF requires all banks precharged.
-		for b := 0; b < c.cfg.Geom.Banks; b++ {
-			c.dev.Precharge(b)
+		for _, dev := range c.ranks {
+			for b := 0; b < c.cfg.Geom.Banks; b++ {
+				dev.Precharge(b)
+			}
+			dev.AutoRefresh(c.now)
 		}
-		c.dev.AutoRefresh(c.now)
 		c.Stats.AutoRefreshes++
 		// tRFC steals bandwidth within the tREFI budget rather than
 		// stretching it; it is charged as busy time, the quantity the
 		// refresh-burden experiment reports as throughput loss.
-		c.Stats.RefreshTime += c.dev.Timing.TRFC
+		c.Stats.RefreshTime += c.ranks[0].Timing.TRFC
 		c.nextRefDue += c.refPeriod
 		for _, m := range c.mitigations {
 			m.OnAutoRefresh(c)
@@ -158,78 +232,101 @@ func (c *Controller) serviceRefresh() {
 	}
 }
 
-// Access performs one 64-bit read or write at a flat byte address and
-// returns the read data (reads echo the stored word; writes return the
-// written word) plus the access latency.
+// Access performs one 64-bit read or write at a flat byte address on
+// rank 0 and returns the read data (reads echo the stored word; writes
+// return the written word) plus the access latency.
 func (c *Controller) Access(addr uint64, write bool, data uint64) (uint64, dram.Time) {
 	return c.AccessCoord(c.amap.Decode(addr), write, data)
 }
 
-// AccessCoord is Access with a pre-decoded coordinate; attack kernels
-// use it to hammer specific rows.
+// AccessCoord is Access with a pre-decoded rank-0 coordinate; attack
+// kernels use it to hammer specific rows.
 func (c *Controller) AccessCoord(co Coord, write bool, data uint64) (uint64, dram.Time) {
+	return c.AccessRanked(0, co, write, data)
+}
+
+// AccessLoc routes a system-level location to its rank. The location's
+// Channel field is ignored: the MemorySystem has already routed the
+// request to this channel's controller.
+func (c *Controller) AccessLoc(l Loc, write bool, data uint64) (uint64, dram.Time) {
+	return c.AccessRanked(l.Rank, l.Coord(), write, data)
+}
+
+// AccessRanked performs one 64-bit read or write at a coordinate on the
+// given rank.
+func (c *Controller) AccessRanked(rank int, co Coord, write bool, data uint64) (uint64, dram.Time) {
 	c.serviceRefresh()
 	start := c.now
-	t := c.dev.Timing
-	open := c.dev.OpenRow(co.Bank)
-	phys := c.dev.PhysRow(co.Row)
+	dev := c.ranks[rank]
+	t := dev.Timing
+	open := dev.OpenRow(co.Bank)
+	phys := dev.PhysRow(co.Row)
+	flat := rank*c.cfg.Geom.Banks + co.Bank
 	switch {
 	case open == phys:
 		c.Stats.RowHits++
 		c.now += t.TCL + t.TBURST
 	case open == -1:
 		c.Stats.RowMisses++
-		c.activate(co.Bank, co.Row)
+		c.activate(rank, co.Bank, co.Row)
 		c.now += t.TRCD + t.TCL + t.TBURST
 	default:
 		c.Stats.RowConflicts++
 		// Respect the row cycle time between ACTs to the same bank.
-		if since := c.now - c.lastAct[co.Bank]; since < t.TRC {
+		if since := c.now - c.lastAct[flat]; since < t.TRC {
 			c.now += t.TRC - since
 		}
-		c.dev.Precharge(co.Bank)
-		c.activate(co.Bank, co.Row)
+		dev.Precharge(co.Bank)
+		c.activate(rank, co.Bank, co.Row)
 		c.now += t.TRP + t.TRCD + t.TCL + t.TBURST
 	}
 	var out uint64
 	if write {
-		c.dev.Write(co.Bank, co.Col, data)
+		dev.Write(co.Bank, co.Col, data)
 		out = data
 	} else {
-		out = c.dev.Read(co.Bank, co.Col)
+		out = dev.Read(co.Bank, co.Col)
 	}
 	c.Stats.Accesses++
 	c.Stats.BusyTime += c.now - start
 	return out, c.now - start
 }
 
-func (c *Controller) activate(bank, logRow int) {
-	c.dev.Activate(bank, logRow, c.now)
-	c.lastAct[bank] = c.now
+func (c *Controller) activate(rank, bank, logRow int) {
+	dev := c.ranks[rank]
+	dev.Activate(bank, logRow, c.now)
+	flat := rank*c.cfg.Geom.Banks + bank
+	c.lastAct[flat] = c.now
 	for _, m := range c.mitigations {
-		m.OnActivate(c, bank, logRow)
+		m.OnActivate(c, flat, logRow)
 	}
 }
 
 // HammerPairs performs `pairs` alternating single-word read accesses to
-// (bank,rowA,col 0) and (bank,rowB,col 0) — the double-sided hammer
-// access pattern — through the normal access path. It is behaviourally
-// identical to the equivalent AccessCoord loop (same timing, refresh
-// interleaving, stats and fault physics, bit for bit) but batches whole
-// refresh-free runs of the sweep into single device calls, amortizing
-// per-activation bookkeeping across each run.
+// (bank,rowA,col 0) and (bank,rowB,col 0) on rank 0 — the double-sided
+// hammer access pattern — through the normal access path. See
+// HammerPairsRanked for the contract.
+func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
+	c.HammerPairsRanked(0, bank, rowA, rowB, pairs)
+}
+
+// HammerPairsRanked is HammerPairs on an explicit rank. It is
+// behaviourally identical to the equivalent AccessRanked loop (same
+// timing, refresh interleaving, stats and fault physics, bit for bit)
+// but batches whole refresh-free runs of the sweep into single device
+// calls, amortizing per-activation bookkeeping across each run.
 //
 // The fast path applies only while no mitigation is attached
 // (mitigations observe, and may act on, every individual activation)
 // and every attached fault model accepts batching for the hammered row
 // pair; otherwise the loop falls back to per-access dispatch, which is
 // exact by construction.
-func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
+func (c *Controller) HammerPairsRanked(rank, bank, rowA, rowB, pairs int) {
 	coA := Coord{Bank: bank, Row: rowA}
 	coB := Coord{Bank: bank, Row: rowB}
 	naivePair := func() {
-		c.AccessCoord(coA, false, 0)
-		c.AccessCoord(coB, false, 0)
+		c.AccessRanked(rank, coA, false, 0)
+		c.AccessRanked(rank, coB, false, 0)
 	}
 	if len(c.mitigations) > 0 || rowA == rowB ||
 		rowA < 0 || rowA >= c.cfg.Geom.Rows || rowB < 0 || rowB >= c.cfg.Geom.Rows {
@@ -238,8 +335,10 @@ func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
 		}
 		return
 	}
-	physB := c.dev.PhysRow(rowB)
-	t := c.dev.Timing
+	dev := c.ranks[rank]
+	flat := rank*c.cfg.Geom.Banks + bank
+	physB := dev.PhysRow(rowB)
+	t := dev.Timing
 	// In the steady row-conflict state every access activates exactly
 	// max(tRC, tRP+tRCD+tCL+tBURST) after the previous activation and
 	// occupies the bus for the same period.
@@ -255,7 +354,7 @@ func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
 		// the row-conflict branch, which holds once the bank is open on
 		// rowB; until then (first pair, or after a refresh precharged
 		// the bank) issue exact individual accesses.
-		if c.dev.OpenRow(bank) != physB {
+		if dev.OpenRow(bank) != physB {
 			naivePair()
 			done++
 			continue
@@ -263,7 +362,7 @@ func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
 		// First activation time, mirroring the conflict branch's tRC
 		// enforcement.
 		act0 := c.now
-		if since := c.now - c.lastAct[bank]; since < t.TRC {
+		if since := c.now - c.lastAct[flat]; since < t.TRC {
 			act0 += t.TRC - since
 		}
 		// Access j of the chunk starts (and its refresh-due check
@@ -287,18 +386,18 @@ func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
 			done++
 			continue
 		}
-		last, ok := c.dev.HammerPairConflict(bank, rowA, rowB, k, act0, period)
+		last, ok := dev.HammerPairConflict(bank, rowA, rowB, k, act0, period)
 		if !ok {
 			naivePair()
 			done++
 			continue
 		}
-		c.dev.BatchReads(bank, 2*k)
+		dev.BatchReads(bank, 2*k)
 		end := last + s
 		c.Stats.Accesses += int64(2 * k)
 		c.Stats.RowConflicts += int64(2 * k)
 		c.Stats.BusyTime += end - c.now
-		c.lastAct[bank] = last
+		c.lastAct[flat] = last
 		c.now = end
 		done += k
 	}
@@ -314,46 +413,57 @@ func (c *Controller) AdvanceTo(t dram.Time) {
 }
 
 // RefreshLogRows refreshes the given logical rows on behalf of a
-// mitigation, charging the targeted-refresh time cost.
-func (c *Controller) RefreshLogRows(bank int, logRows []int) {
+// mitigation, charging the targeted-refresh time cost. flatBank is the
+// flat rank*Banks+bank index mitigations observe.
+func (c *Controller) RefreshLogRows(flatBank int, logRows []int) {
+	rank, bank := c.splitFlatBank(flatBank)
+	dev := c.ranks[rank]
 	for _, r := range logRows {
 		if r < 0 || r >= c.cfg.Geom.Rows {
 			continue
 		}
-		c.dev.RefreshLogRow(bank, r, c.now)
+		dev.RefreshLogRow(bank, r, c.now)
 		c.chargeMitRefresh()
 	}
 }
 
 // RefreshPhysRows refreshes the given physical rows on behalf of a
-// DRAM-side mitigation that knows true adjacency.
-func (c *Controller) RefreshPhysRows(bank int, physRows []int) {
+// DRAM-side mitigation that knows true adjacency. flatBank is the flat
+// rank*Banks+bank index mitigations observe.
+func (c *Controller) RefreshPhysRows(flatBank int, physRows []int) {
+	rank, bank := c.splitFlatBank(flatBank)
+	dev := c.ranks[rank]
 	for _, r := range physRows {
 		if r < 0 || r >= c.cfg.Geom.Rows {
 			continue
 		}
-		c.dev.RefreshPhysRow(bank, r, c.now)
+		dev.RefreshPhysRow(bank, r, c.now)
 		c.chargeMitRefresh()
 	}
 }
 
 func (c *Controller) chargeMitRefresh() {
 	c.Stats.MitRefreshes++
-	c.now += c.dev.Timing.TRC
-	c.Stats.MitTime += c.dev.Timing.TRC
+	c.now += c.ranks[0].Timing.TRC
+	c.Stats.MitTime += c.ranks[0].Timing.TRC
 }
 
 // RetentionWindow returns the effective per-row refresh period under
 // the configured multiplier.
 func (c *Controller) RetentionWindow() dram.Time {
-	return dram.Time(float64(c.dev.Timing.RetentionWindow()) / c.cfg.RefreshMultiplier)
+	return dram.Time(float64(c.ranks[0].Timing.RetentionWindow()) / c.cfg.RefreshMultiplier)
 }
 
-// EnergyPJ returns total energy consumed so far: device operation
-// energy plus background power integrated over elapsed time.
+// EnergyPJ returns total energy consumed so far: operation energy of
+// every rank plus per-rank background power integrated over elapsed
+// time.
 func (c *Controller) EnergyPJ() float64 {
 	elapsedSec := float64(c.now) / float64(dram.Second)
-	return c.dev.Stats.OpEnergyPJ + c.dev.Energy.BackgroundW*elapsedSec*1e12
+	total := 0.0
+	for _, dev := range c.ranks {
+		total += dev.Stats.OpEnergyPJ + dev.Energy.BackgroundW*elapsedSec*1e12
+	}
+	return total
 }
 
 // String summarizes controller state for logs.

@@ -11,6 +11,11 @@ import (
 // refreshing rows through the controller, which charges their time and
 // energy costs to the accounting that the countermeasure-comparison
 // experiment (E5) reports.
+//
+// The bank index a mitigation observes (and hands back to
+// RefreshLogRows/RefreshPhysRows/PhysRowAt) is the controller's flat
+// rank*Banks+bank index, which equals the plain bank index on
+// single-rank channels.
 type Mitigation interface {
 	// Name identifies the mitigation in result tables.
 	Name() string
@@ -100,17 +105,19 @@ func (p *PARA) OnActivate(c *Controller, bank, logRow int) {
 		}
 		switch p.Where {
 		case InDRAM:
-			phys := c.Device().PhysRow(logRow)
+			phys := c.PhysRowAt(bank, logRow)
 			for d := 1; d <= radius; d++ {
 				c.RefreshPhysRows(bank, []int{phys + dir*d})
 			}
 		case InControllerWithSPD:
 			// The oracle returns logical rows whose physical rows
-			// neighbour ours; refresh the ones on this side.
-			phys := c.Device().PhysRow(logRow)
+			// neighbour ours; refresh the ones on this side. The oracle
+			// is built from the rank-0 remap; multi-rank systems attach
+			// per-channel in-DRAM PARA instead.
+			phys := c.PhysRowAt(bank, logRow)
 			for d := 1; d <= radius; d++ {
 				for _, n := range p.Oracle.NeighborsOf(logRow, d) {
-					if c.Device().PhysRow(n)-phys == dir*d {
+					if c.PhysRowAt(bank, n)-phys == dir*d {
 						c.RefreshLogRows(bank, []int{n})
 					}
 				}
@@ -171,7 +178,7 @@ func (m *CRA) OnActivate(c *Controller, bank, logRow int) {
 		// places the counters in the controller but we grant it
 		// adjacency knowledge so the experiment isolates the storage
 		// cost axis rather than the adjacency axis.
-		phys := c.Device().PhysRow(logRow)
+		phys := c.PhysRowAt(bank, logRow)
 		c.RefreshPhysRows(bank, []int{phys - 2, phys - 1, phys + 1, phys + 2})
 		m.counters[k] = 0
 	}
@@ -221,7 +228,7 @@ func (m *TRR) OnActivate(c *Controller, bank, logRow int) {
 		return
 	}
 	// Round-robin eviction: a new sample overwrites the oldest slot.
-	m.sampler[m.nextSlot] = [2]int{bank, c.Device().PhysRow(logRow)}
+	m.sampler[m.nextSlot] = [2]int{bank, c.PhysRowAt(bank, logRow)}
 	m.nextSlot = (m.nextSlot + 1) % m.Entries
 }
 

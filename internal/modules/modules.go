@@ -106,7 +106,23 @@ func (m *Module) RefreshMultiplierToEliminate(test StandardTest) float64 {
 // models attached and an optional internal remap. The returned models
 // allow experiments to inspect ground truth.
 func (m *Module) Device(g dram.Geometry, remapFraction float64) (*dram.Device, *disturb.Model, *retention.Model) {
-	src := rng.New(m.Seed)
+	return m.DeviceN(g, remapFraction, 0)
+}
+
+// DeviceN instantiates device sub of a multi-device (multi-channel or
+// multi-rank) system built from this one module's physics. Each sub
+// index draws from its own RNG substream, so devices of one system
+// have independent weak-cell populations and remaps; sub 0 consumes
+// exactly the stream Device does, keeping single-device systems
+// bit-identical to the original stack.
+func (m *Module) DeviceN(g dram.Geometry, remapFraction float64, sub int) (*dram.Device, *disturb.Model, *retention.Model) {
+	seed := m.Seed
+	if sub > 0 {
+		// Golden-ratio stepping decorrelates substreams without
+		// touching the sub-0 seed.
+		seed = m.Seed + 0x9e3779b97f4a7c15*uint64(sub)
+	}
+	src := rng.New(seed)
 	dev := dram.NewDevice(g)
 	if remapFraction > 0 {
 		dev.SetRemap(dram.RandomRemap(g.Rows, remapFraction, src.Split()))
@@ -116,6 +132,26 @@ func (m *Module) Device(g dram.Geometry, remapFraction float64) (*dram.Device, *
 	dev.AttachFault(dm)
 	dev.AttachFault(rm)
 	return dev, dm, rm
+}
+
+// ScaleForSmallArray returns a copy of the module with hammer
+// thresholds divided by thresholdDiv and the weak-cell fraction
+// multiplied by weakMult (capped at weakCap when positive) — the
+// standard densification a small simulated array needs so CLI- and
+// experiment-scale hammer budgets reach its cells. Invulnerable
+// modules are returned unchanged. Full-scale numbers come from the
+// analytic model (E3/E4); scaled systems are for end-to-end campaigns.
+func (m Module) ScaleForSmallArray(thresholdDiv, weakMult, weakCap float64) Module {
+	if !m.Vulnerable() {
+		return m
+	}
+	m.Vuln.MinThreshold /= thresholdDiv
+	m.Vuln.ThresholdMedian /= thresholdDiv
+	m.Vuln.WeakCellFraction *= weakMult
+	if weakCap > 0 && m.Vuln.WeakCellFraction > weakCap {
+		m.Vuln.WeakCellFraction = weakCap
+	}
+	return m
 }
 
 // classSpec calibrates one manufacture year.

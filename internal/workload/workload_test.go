@@ -159,3 +159,112 @@ func TestNames(t *testing.T) {
 		seen[g.Name()] = true
 	}
 }
+
+// --- Flat-address generator family ---
+
+func flatTestTopo() dram.Topology {
+	return dram.Topology{Channels: 2, Ranks: 2, Geom: dram.Geometry{Banks: 4, Rows: 64, Cols: 16}}
+}
+
+func buildFlatSystem(p memctrl.MappingPolicy) *memctrl.MemorySystem {
+	t := p.Topology()
+	devs := make([][]*dram.Device, t.Channels)
+	for ch := range devs {
+		for rk := 0; rk < t.Ranks; rk++ {
+			devs[ch] = append(devs[ch], dram.NewDevice(t.Geom))
+		}
+	}
+	return memctrl.NewSystem(devs, p, memctrl.Config{})
+}
+
+// TestFlatStreamsPolicyIndependent pins the controlled-comparison
+// property: with the same topology and seed, FlatRandom emits the
+// identical address stream no matter which policy will decode it.
+func TestFlatStreamsPolicyIndependent(t *testing.T) {
+	topo := flatTestTopo()
+	pols := memctrl.Policies(topo)
+	var streams [][]uint64
+	for _, p := range pols {
+		g := NewFlatRandom(p, 0.3, rng.New(42))
+		var s []uint64
+		for i := 0; i < 1000; i++ {
+			s = append(s, g.NextFlat().Addr)
+		}
+		streams = append(streams, s)
+	}
+	for i := 1; i < len(streams); i++ {
+		for j := range streams[0] {
+			if streams[0][j] != streams[i][j] {
+				t.Fatalf("policy %s diverged at access %d", pols[i].Name(), j)
+			}
+		}
+	}
+}
+
+// TestFlatGeneratorsStayInRange drives each generator and checks every
+// emitted address is word-aligned and within the topology.
+func TestFlatGeneratorsStayInRange(t *testing.T) {
+	topo := flatTestTopo()
+	p := memctrl.ChannelInterleaved{Topo: topo}
+	src := rng.New(9)
+	gens := []FlatGenerator{
+		NewFlatSequential(p),
+		NewFlatRandom(p, 0.5, src),
+		NewFlatStrided(p, 4096),
+		NewFlatZipfRows(p, 1.1, src),
+		NewFlatHammer(p, memctrl.Loc{Channel: 1, Rank: 1, Bank: 2, Row: 10},
+			memctrl.Loc{Channel: 1, Rank: 1, Bank: 2, Row: 12}),
+	}
+	mix := NewFlatMix("mix", src, gens, []float64{1, 1, 1, 1, 1})
+	for _, g := range append(gens, FlatGenerator(mix)) {
+		for i := 0; i < 2000; i++ {
+			a := g.NextFlat()
+			if a.Addr%8 != 0 {
+				t.Fatalf("%s: unaligned address %#x", g.Name(), a.Addr)
+			}
+			if a.Addr >= p.Bytes() {
+				t.Fatalf("%s: address %#x beyond capacity %#x", g.Name(), a.Addr, p.Bytes())
+			}
+		}
+	}
+}
+
+// TestRunSystemTouchesAllChannels checks that a random flat stream
+// through a channel-interleaved system reaches every channel.
+func TestRunSystemTouchesAllChannels(t *testing.T) {
+	topo := flatTestTopo()
+	p := memctrl.ChannelInterleaved{Topo: topo}
+	ms := buildFlatSystem(p)
+	lat := RunSystem(ms, NewFlatRandom(p, 0.2, rng.New(5)), 5000)
+	if lat <= 0 {
+		t.Fatalf("mean latency %v", lat)
+	}
+	for ch := 0; ch < ms.Channels(); ch++ {
+		if ms.Controller(ch).Stats.Accesses == 0 {
+			t.Fatalf("channel %d never accessed", ch)
+		}
+	}
+	agg := ms.AggregateStats()
+	if agg.Accesses != 5000 {
+		t.Fatalf("aggregate accesses %d, want 5000", agg.Accesses)
+	}
+}
+
+// TestFlatHammerAlternates checks the attacker stream alternates its
+// aggressor addresses exactly.
+func TestFlatHammerAlternates(t *testing.T) {
+	topo := flatTestTopo()
+	p := memctrl.RowInterleaved{Topo: topo}
+	a := memctrl.Loc{Bank: 1, Row: 7}
+	b := memctrl.Loc{Bank: 1, Row: 9}
+	h := NewFlatHammer(p, a, b)
+	for i := 0; i < 10; i++ {
+		want := p.Encode(a)
+		if i%2 == 1 {
+			want = p.Encode(b)
+		}
+		if got := h.NextFlat().Addr; got != want {
+			t.Fatalf("access %d: %#x, want %#x", i, got, want)
+		}
+	}
+}
