@@ -9,10 +9,18 @@
 //
 // Usage:
 //
-//	rowhammer [-year 2013] [-pairs 30000] [-mode double|single|many]
-//	          [-mitigate none|para|cra|trr|anvil|refresh7] [-seed N]
+//	rowhammer [-year 2013] [-pairs 30000]
+//	          [-mode double|single|many|nsided|adaptive]
+//	          [-mitigation none|para|cra|trr|anvil|graphene|twice|refresh2|refresh7]
+//	          [-sides N] [-decoys N] [-seed N]
 //	          [-channels 1] [-ranks 1] [-mapping row|channel|xor]
 //	          [-shards N]
+//
+// -mode nsided runs the TRRespass-style N-sided pattern (-sides
+// aggressors plus -decoys sampler-burning decoy rows per bank region);
+// -mode adaptive first probes the sidedness sweep on channel 0 and
+// then attacks the whole topology with the winner. -mitigate remains
+// as a deprecated alias of -mitigation.
 package main
 
 import (
@@ -30,15 +38,41 @@ import (
 
 func main() {
 	year := flag.Int("year", 2013, "module class year (2008-2014)")
-	pairs := flag.Int("pairs", 30000, "hammer pairs per victim")
-	mode := flag.String("mode", "double", "hammer mode: double, single, many")
-	mitigate := flag.String("mitigate", "none", "mitigation: none, para, cra, trr, anvil, refresh7")
+	pairs := flag.Int("pairs", 30000, "hammer pairs (or N-sided rounds) per victim")
+	mode := flag.String("mode", "double", "hammer mode: double, single, many, nsided, adaptive")
+	mitigation := flag.String("mitigation", "none",
+		"mitigation: none, para, cra, trr, anvil, graphene, twice, refresh2, refresh7")
+	mitigate := flag.String("mitigate", "", "deprecated alias of -mitigation")
+	sides := flag.Int("sides", 4, "aggressor rows per N-sided region (nsided mode)")
+	decoys := flag.Int("decoys", 2, "decoy rows per bank (nsided/adaptive modes)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	channels := flag.Int("channels", 1, "number of channels")
 	ranks := flag.Int("ranks", 1, "ranks per channel")
 	mapping := flag.String("mapping", "row", "address mapping policy: row, channel, xor")
 	shards := flag.Int("shards", 0, "channel-shard worker count (0 = serial)")
 	flag.Parse()
+	mitigationSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mitigation" {
+			mitigationSet = true
+		}
+	})
+	if *mitigate != "" {
+		if mitigationSet && *mitigate != *mitigation {
+			fmt.Fprintf(os.Stderr, "-mitigate %q conflicts with -mitigation %q; drop the deprecated alias\n",
+				*mitigate, *mitigation)
+			os.Exit(1)
+		}
+		*mitigation = *mitigate
+	}
+	if (*mode == "nsided" || *mode == "adaptive") && *sides < 2 {
+		fmt.Fprintf(os.Stderr, "-sides %d: an N-sided pattern needs at least 2 aggressors\n", *sides)
+		os.Exit(1)
+	}
+	if *decoys < 0 {
+		fmt.Fprintf(os.Stderr, "-decoys %d must be non-negative\n", *decoys)
+		os.Exit(1)
+	}
 
 	pop := modules.Population(*seed)
 	var mod *modules.Module
@@ -61,31 +95,52 @@ func main() {
 		Geom:     dram.Geometry{Banks: 1, Rows: 1024, Cols: 8},
 	}
 	cfg := core.Options{Topology: topo, Mapping: *mapping}
-	if *mitigate == "refresh7" {
+	if *mitigation == "refresh7" {
 		cfg.RefreshMultiplier = 7
 	}
 	s := core.Build(&m, cfg)
 	g := topo.Geom
-	switch *mitigate {
+	attachEach := func(build func(ch int) memctrl.Mitigation) {
+		for ch := 0; ch < topo.Channels; ch++ {
+			s.Mem.Controller(ch).Attach(build(ch))
+		}
+	}
+	switch *mitigation {
 	case "none", "refresh7":
+	case "refresh2":
+		attachEach(func(int) memctrl.Mitigation { return memctrl.NewRefreshScaling(2) })
 	case "para":
 		s.AttachPARAEachChannel(0.01, rng.New(*seed^2))
 	case "cra":
-		for ch := 0; ch < topo.Channels; ch++ {
-			s.Mem.Controller(ch).Attach(
-				memctrl.NewCRA(int64(s.Disturb.MinThreshold()), topo.Ranks*g.Banks, g.Rows))
-		}
+		attachEach(func(int) memctrl.Mitigation {
+			return memctrl.NewCRA(int64(s.Disturb.MinThreshold()), topo.Ranks*g.Banks, g.Rows)
+		})
 	case "trr":
 		trrSrc := rng.New(*seed ^ 3)
-		for ch := 0; ch < topo.Channels; ch++ {
-			s.Mem.Controller(ch).Attach(memctrl.NewTRR(8, 0.01, trrSrc.Split()))
-		}
+		attachEach(func(int) memctrl.Mitigation { return memctrl.NewTRR(8, 0.01, trrSrc.Split()) })
+	case "graphene":
+		attachEach(func(int) memctrl.Mitigation {
+			// Provision the table for the widest in-flight pattern the
+			// CLI can generate plus its decoys; adaptive mode sweeps up
+			// to 16 sides regardless of -sides.
+			widest := *sides
+			if *mode == "adaptive" && widest < 16 {
+				widest = 16
+			}
+			entries := 2 * (widest + *decoys)
+			if entries < 8 {
+				entries = 8
+			}
+			return memctrl.NewGraphene(entries, int64(s.Disturb.MinThreshold()), topo.Ranks*g.Banks)
+		})
+	case "twice":
+		attachEach(func(int) memctrl.Mitigation {
+			return memctrl.NewTWiCe(int64(s.Disturb.MinThreshold()), topo.Ranks*g.Banks)
+		})
 	case "anvil":
-		for ch := 0; ch < topo.Channels; ch++ {
-			s.Mem.Controller(ch).Attach(memctrl.NewANVIL())
-		}
+		attachEach(func(int) memctrl.Mitigation { return memctrl.NewANVIL() })
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mitigation %q\n", *mitigate)
+		fmt.Fprintf(os.Stderr, "unknown mitigation %q\n", *mitigation)
 		os.Exit(1)
 	}
 
@@ -98,7 +153,7 @@ func main() {
 	fmt.Printf("module %s (year %d, vendor %s), vulnerable=%v, weak cells=%d\n",
 		m.ID, m.Year, m.Vendor, m.Vulnerable(), weak)
 	fmt.Printf("topology=%s mapping=%s mode=%s pairs=%d mitigation=%s\n",
-		topo, s.Mem.Policy().Name(), *mode, *pairs, *mitigate)
+		topo, s.Mem.Policy().Name(), *mode, *pairs, *mitigation)
 
 	// Fill memory with a checkerboard so both true- and anti-cells sit
 	// in their charged state somewhere, as the original test program's
@@ -143,11 +198,52 @@ func main() {
 				}
 			}
 		})
+	case "nsided":
+		attack.CrossBankNSided(s.Mem, nsidedBases(topo, *sides, *decoys), *sides, *decoys, *pairs, *shards)
+	case "adaptive":
+		best, probes := attack.AdaptiveNSided(s.Mem.Controller(0), 0, 0,
+			[]int{2, 4, 8, 16}, *decoys, 120000, 0xaaaaaaaaaaaaaaaa)
+		for _, p := range probes {
+			fmt.Printf("probe: %2d-sided -> %d flips (%d activations)\n", p.Sides, p.Flips, p.Activations)
+		}
+		fmt.Printf("adaptive attacker chose %d sides\n", best)
+		attack.CrossBankNSided(s.Mem, nsidedBases(topo, best, *decoys), best, *decoys, *pairs, *shards)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
 
+	reportResults(s)
+}
+
+// nsidedBases anchors one N-sided region per hammered stretch of every
+// bank, spacing regions so neighbouring patterns do not overlap and
+// reserving the top of each bank for the decoy rows (DecoyRows packs
+// them downward from rows-2 in steps of 2) plus a 2-row coupling gap,
+// so decoys never press a pattern victim.
+func nsidedBases(topo dram.Topology, sides, decoys int) []memctrl.Loc {
+	stride := 2*sides + 2
+	if stride < 16 {
+		stride = 16
+	}
+	reserve := 2*decoys + 4
+	if reserve < 16 {
+		reserve = 16
+	}
+	var bases []memctrl.Loc
+	for ch := 0; ch < topo.Channels; ch++ {
+		for rk := 0; rk < topo.Ranks; rk++ {
+			for b := 0; b < topo.Geom.Banks; b++ {
+				for v := 9; v+2*sides < topo.Geom.Rows-reserve; v += stride {
+					bases = append(bases, memctrl.Loc{Channel: ch, Rank: rk, Bank: b, Row: v})
+				}
+			}
+		}
+	}
+	return bases
+}
+
+func reportResults(s *core.System) {
 	dstats := s.Mem.AggregateDeviceStats()
 	fmt.Printf("activations issued: %d\n", dstats.Activates)
 	fmt.Printf("bit flips induced:  %d\n", s.TotalFlips())

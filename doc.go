@@ -25,14 +25,17 @@
 //   - internal/memctrl: the memory-controller stack: pluggable
 //     address-mapping policies (row-interleaved, channel-interleaved,
 //     XOR bank hash), the per-channel multi-rank Controller with the
-//     pluggable mitigation registry (PARA, CRA, TRR, ANVIL, refresh
-//     scaling) and batched HammerPairs sweep path, and the
-//     multi-channel MemorySystem with channel-sharded execution.
+//     pluggable mitigation registry — first generation (PARA, CRA,
+//     TRR, ANVIL) and the second-generation frontier (Graphene top-k
+//     tracking, TWiCe pruned counters, attachable RefreshScaling) —
+//     and batched HammerPairs sweep path, and the multi-channel
+//     MemorySystem with channel-sharded execution.
 //   - internal/ecc, internal/spd: SECDED(72,64) and the adjacency ROM
 //   - internal/modules: the 129-module population behind Figure 1,
 //     with per-device RNG substreams for multi-device topologies
-//   - internal/attack: hammer kernels, mapping-aware adjacency
-//     probing, topology-wide templating, cross-bank parallel
+//   - internal/attack: hammer kernels (including the TRRespass-style
+//     adaptive N-sided family with decoy rows), mapping-aware
+//     adjacency probing, topology-wide templating, cross-bank parallel
 //     hammering, privilege escalation, cross-VM
 //   - internal/workload: Coord-based and flat-address access-stream
 //     generators (the latter decoded by the active mapping policy)
@@ -41,7 +44,8 @@
 //   - internal/pcm: Start-Gap wear leveling under write attack
 //   - internal/profile, internal/core, internal/exp: profiling,
 //     analysis, topology-aware system building (core.Build), the
-//     E1-E33 experiment registry, and the parallel experiment Runner
+//     E1-E44 experiment registry (E40-E44 are the mitigation-frontier
+//     Pareto sweeps), and the parallel experiment Runner
 //     (experiment-level pool plus channel-level sharding) with its
 //     machine-readable benchmark summaries (BENCH_*.json)
 //
@@ -72,7 +76,7 @@ func Build(m *Module, opt Options) *System { return core.Build(m, opt) }
 // Population returns the 129-module study population.
 func Population(seed uint64) []Module { return modules.Population(seed) }
 
-// Experiments lists the registered experiments (E1..E33).
+// Experiments lists the registered experiments (E1..E44).
 func Experiments() []exp.Experiment { return exp.All() }
 
 // Runner executes experiments on a parallel worker pool; results are

@@ -122,9 +122,11 @@ type Controller struct {
 	now        dram.Time
 	nextRefDue dram.Time
 	refPeriod  dram.Time
+	refMult    float64     // effective refresh multiplier (config × attached scaling)
 	lastAct    []dram.Time // per flat bank (rank*Banks+bank), for tRC enforcement
 
 	mitigations []Mitigation
+	observers   int // attached mitigations that are not passive
 	Stats       Stats
 }
 
@@ -160,6 +162,7 @@ func NewMultiRank(devs []*dram.Device, cfg Config) *Controller {
 		amap:    AddressMap{Geom: g},
 		lastAct: make([]dram.Time, len(devs)*g.Banks),
 	}
+	c.refMult = cfg.RefreshMultiplier
 	c.refPeriod = dram.Time(float64(devs[0].Timing.TREFI) / cfg.RefreshMultiplier)
 	if c.refPeriod < 1 {
 		c.refPeriod = 1
@@ -184,10 +187,42 @@ func (c *Controller) Map() AddressMap { return c.amap }
 // Now returns the current simulated time.
 func (c *Controller) Now() dram.Time { return c.now }
 
+// refreshScaler is the hook through which an attached mitigation
+// multiplies the controller's refresh rate (RefreshScaling implements
+// it).
+type refreshScaler interface{ RefreshFactor() float64 }
+
+// passiveMitigation marks mitigations that neither observe activations
+// nor act on refreshes (their effect, if any, is applied at attach
+// time). The batched hammer hot path stays enabled when only passive
+// mitigations are attached.
+type passiveMitigation interface{ Passive() }
+
 // Attach registers a mitigation. Mitigations see every activate on
 // every rank; the bank index they observe is the flat rank*Banks+bank,
 // which equals the plain bank index on single-rank channels.
-func (c *Controller) Attach(m Mitigation) { c.mitigations = append(c.mitigations, m) }
+//
+// A mitigation exposing a RefreshFactor (RefreshScaling) multiplies
+// the refresh rate on attach, stacking with Config.RefreshMultiplier;
+// the next REF comes due one new period from the current time, so
+// attaching before any traffic is bit-identical to configuring the
+// multiplier up front.
+func (c *Controller) Attach(m Mitigation) {
+	c.mitigations = append(c.mitigations, m)
+	if _, ok := m.(passiveMitigation); !ok {
+		c.observers++
+	}
+	if rs, ok := m.(refreshScaler); ok {
+		if f := rs.RefreshFactor(); f > 0 {
+			c.refMult *= f
+			c.refPeriod = dram.Time(float64(c.refPeriod) / f)
+			if c.refPeriod < 1 {
+				c.refPeriod = 1
+			}
+			c.nextRefDue = c.now + c.refPeriod
+		}
+	}
+}
 
 // Mitigations returns the attached mitigations.
 func (c *Controller) Mitigations() []Mitigation { return c.mitigations }
@@ -316,11 +351,12 @@ func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
 // but batches whole refresh-free runs of the sweep into single device
 // calls, amortizing per-activation bookkeeping across each run.
 //
-// The fast path applies only while no mitigation is attached
-// (mitigations observe, and may act on, every individual activation)
-// and every attached fault model accepts batching for the hammered row
-// pair; otherwise the loop falls back to per-access dispatch, which is
-// exact by construction.
+// The fast path applies only while no observing mitigation is attached
+// (observers see, and may act on, every individual activation; passive
+// mitigations such as RefreshScaling do not disable it) and every
+// attached fault model accepts batching for the hammered row pair;
+// otherwise the loop falls back to per-access dispatch, which is exact
+// by construction.
 func (c *Controller) HammerPairsRanked(rank, bank, rowA, rowB, pairs int) {
 	coA := Coord{Bank: bank, Row: rowA}
 	coB := Coord{Bank: bank, Row: rowB}
@@ -328,7 +364,7 @@ func (c *Controller) HammerPairsRanked(rank, bank, rowA, rowB, pairs int) {
 		c.AccessRanked(rank, coA, false, 0)
 		c.AccessRanked(rank, coB, false, 0)
 	}
-	if len(c.mitigations) > 0 || rowA == rowB ||
+	if c.observers > 0 || rowA == rowB ||
 		rowA < 0 || rowA >= c.cfg.Geom.Rows || rowB < 0 || rowB >= c.cfg.Geom.Rows {
 		for i := 0; i < pairs; i++ {
 			naivePair()
@@ -448,11 +484,26 @@ func (c *Controller) chargeMitRefresh() {
 	c.Stats.MitTime += c.ranks[0].Timing.TRC
 }
 
-// RetentionWindow returns the effective per-row refresh period under
-// the configured multiplier.
-func (c *Controller) RetentionWindow() dram.Time {
-	return dram.Time(float64(c.ranks[0].Timing.RetentionWindow()) / c.cfg.RefreshMultiplier)
+// RefsPerRetentionWindow returns how many REF commands the controller
+// issues per nominal retention window (tREFW) under its configured
+// refresh rate: 8192 at the nominal rate, scaled up by the refresh
+// multiplier. Window-based mitigations that count REF commands derive
+// their reset cadence from it rather than hardcoding 8192, which would
+// silently shrink their window whenever the refresh rate is raised.
+func (c *Controller) RefsPerRetentionWindow() int64 {
+	return int64(float64(c.ranks[0].Timing.RetentionWindow())/float64(c.refPeriod) + 0.5)
 }
+
+// RetentionWindow returns the effective per-row refresh period under
+// the effective refresh multiplier (Config.RefreshMultiplier times any
+// attached RefreshScaling factors).
+func (c *Controller) RetentionWindow() dram.Time {
+	return dram.Time(float64(c.ranks[0].Timing.RetentionWindow()) / c.refMult)
+}
+
+// RefreshMultiplier returns the effective refresh-rate multiplier:
+// Config.RefreshMultiplier times every attached RefreshScaling factor.
+func (c *Controller) RefreshMultiplier() float64 { return c.refMult }
 
 // EnergyPJ returns total energy consumed so far: operation energy of
 // every rank plus per-rank background power integrated over elapsed

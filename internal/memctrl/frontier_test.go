@@ -1,0 +1,183 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/disturb"
+	"repro/internal/dram"
+	"repro/internal/rng"
+)
+
+func TestGraphenePrevents(t *testing.T) {
+	rig := newAttackRig(2000, false, Config{})
+	rig.ctrl.Attach(NewGraphene(4, 2000, 1))
+	rig.hammerPairs(50000)
+	if rig.victimFlipped() {
+		t.Fatal("Graphene failed to prevent a double-sided flip")
+	}
+	if rig.ctrl.Stats.MitRefreshes == 0 {
+		t.Fatal("Graphene never refreshed a neighbour")
+	}
+}
+
+// TestGrapheneHoldsAgainstManySided is the frontier contrast to
+// TestTRRBypassedByManySided: the same 20-aggressor-pair pattern that
+// starves a tiny TRR sampler cannot dilute a provisioned Misra-Gries
+// tracker (entries sized for the active aggressor rows, Graphene's
+// design rule — still a fraction of CRA's every-row table): every
+// aggressor stays tracked and fires per trigger step, so the attack
+// surfaces as refreshes instead of flips.
+func TestGrapheneHoldsAgainstManySided(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 256, Cols: 8}
+	dev := dram.NewDevice(g)
+	m := disturb.NewModel(g, disturb.Invulnerable(), rng.New(2))
+	victims := []int{}
+	for v := 20; v <= 210; v += 10 {
+		m.InjectWeakCell(0, v, 3, 1500, 1, 1, 1, 1)
+		victims = append(victims, v)
+	}
+	dev.AttachFault(m)
+	for _, v := range victims {
+		dev.SetPhysBit(0, v, 3, 1)
+	}
+	ctrl := New(dev, Config{})
+	ctrl.Attach(NewGraphene(44, 1500, 1))
+	for i := 0; i < 4000; i++ {
+		for _, v := range victims {
+			ctrl.AccessCoord(Coord{Bank: 0, Row: v - 1, Col: 0}, false, 0)
+			ctrl.AccessCoord(Coord{Bank: 0, Row: v + 1, Col: 0}, false, 0)
+		}
+	}
+	for _, v := range victims {
+		if dev.PhysBit(0, v, 3) != 1 {
+			t.Fatalf("many-sided pattern flipped victim %d through Graphene", v)
+		}
+	}
+	if ctrl.Stats.MitRefreshes == 0 {
+		t.Fatal("Graphene never fired under the many-sided pattern")
+	}
+}
+
+func TestTWiCePrevents(t *testing.T) {
+	rig := newAttackRig(2000, false, Config{})
+	rig.ctrl.Attach(NewTWiCe(2000, 1))
+	rig.hammerPairs(50000)
+	if rig.victimFlipped() {
+		t.Fatal("TWiCe failed to prevent a double-sided flip")
+	}
+	if rig.ctrl.Stats.MitRefreshes == 0 {
+		t.Fatal("TWiCe never refreshed a neighbour")
+	}
+}
+
+// TestTWiCePrunesBenignRows pins the pruning contract: rows that are
+// not on pace to reach the trigger fall out of the table within a few
+// checkpoints, so the peak live-table size stays far below CRA's
+// every-row table while hot aggressors stay tracked.
+func TestTWiCePrunesBenignRows(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 256, Cols: 8}
+	dev := dram.NewDevice(g)
+	ctrl := New(dev, Config{})
+	tw := NewTWiCe(2000, 1)
+	tw.WindowREFs = 64 // survival pace: count >= 1000*life/64
+	ctrl.Attach(tw)
+	// Two hot aggressors hammered continuously, with a one-off touch of
+	// a distinct cold row between bursts.
+	for i := 0; i < 200; i++ {
+		for k := 0; k < 40; k++ {
+			ctrl.AccessCoord(Coord{Bank: 0, Row: 100, Col: 0}, false, 0)
+			ctrl.AccessCoord(Coord{Bank: 0, Row: 102, Col: 0}, false, 0)
+		}
+		ctrl.AccessCoord(Coord{Bank: 0, Row: (i * 7) % 97, Col: 0}, false, 0)
+	}
+	if tw.PeakEntries() >= 97 {
+		t.Fatalf("TWiCe never pruned: peak %d entries", tw.PeakEntries())
+	}
+	if tw.StorageBits() >= NewCRA(2000, 1, g.Rows).StorageBits() {
+		t.Fatalf("TWiCe storage %d bits not below CRA's table %d",
+			tw.StorageBits(), NewCRA(2000, 1, g.Rows).StorageBits())
+	}
+	live := 0
+	for _, e := range tw.tables[0] {
+		if e.row == 100 || e.row == 102 {
+			live++
+		}
+	}
+	if live != 2 {
+		t.Fatalf("hot aggressors pruned: %d of 2 still tracked", live)
+	}
+}
+
+// TestRefreshScalingEquivalentToConfigMultiplier proves the attachable
+// policy is bit-identical to configuring the multiplier up front: same
+// stats, same clock, same device activity — including through the
+// batched hammer path, which RefreshScaling (a passive mitigation)
+// must not disable.
+func TestRefreshScalingEquivalentToConfigMultiplier(t *testing.T) {
+	g := dram.Geometry{Banks: 2, Rows: 128, Cols: 4}
+	run := func(attach bool) (*Controller, *dram.Device) {
+		dev := dram.NewDevice(g)
+		dm := disturb.NewModel(g, disturb.Invulnerable(), rng.New(9))
+		dm.InjectWeakCell(0, 60, 5, 5000, 1, 1, 1, 1)
+		dev.AttachFault(dm)
+		dev.SetPhysBit(0, 60, 5, 1)
+		var c *Controller
+		if attach {
+			c = New(dev, Config{})
+			c.Attach(NewRefreshScaling(4))
+		} else {
+			c = New(dev, Config{RefreshMultiplier: 4})
+		}
+		src := rng.New(31)
+		for i := 0; i < 5000; i++ {
+			co := Coord{Bank: src.Intn(g.Banks), Row: src.Intn(g.Rows), Col: src.Intn(g.Cols)}
+			c.AccessCoord(co, src.Bool(0.3), src.Uint64())
+		}
+		c.HammerPairs(0, 59, 61, 20000)
+		return c, dev
+	}
+	a, da := run(false)
+	b, db := run(true)
+	if a.Stats != b.Stats || a.Now() != b.Now() {
+		t.Fatalf("stats diverged:\nconfig %+v t=%d\nattach %+v t=%d", a.Stats, a.Now(), b.Stats, b.Now())
+	}
+	if da.Stats != db.Stats {
+		t.Fatalf("device stats diverged: %+v vs %+v", da.Stats, db.Stats)
+	}
+	if b.RefreshMultiplier() != 4 {
+		t.Fatalf("effective multiplier = %v, want 4", b.RefreshMultiplier())
+	}
+}
+
+func TestRefreshScalingStacksWithConfig(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 64, Cols: 2}
+	c := New(dram.NewDevice(g), Config{RefreshMultiplier: 2})
+	c.Attach(NewRefreshScaling(2))
+	if c.RefreshMultiplier() != 4 {
+		t.Fatalf("stacked multiplier = %v, want 4", c.RefreshMultiplier())
+	}
+	want := dram.Time(float64(c.Device().Timing.RetentionWindow()) / 4)
+	if c.RetentionWindow() != want {
+		t.Fatalf("RetentionWindow = %d, want %d", c.RetentionWindow(), want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive factor did not panic")
+		}
+	}()
+	NewRefreshScaling(0)
+}
+
+func TestFrontierStorageCosts(t *testing.T) {
+	gr := NewGraphene(16, 100000, 8)
+	if gr.StorageBits() != 8*(16*(32+20)+20) {
+		t.Fatalf("Graphene storage = %d bits", gr.StorageBits())
+	}
+	if rs := NewRefreshScaling(7); rs.StorageBits() != 0 {
+		t.Fatal("RefreshScaling must be stateless")
+	}
+	tw := NewTWiCe(100000, 2)
+	if tw.StorageBits() != 0 {
+		t.Fatal("TWiCe must charge nothing before any entry is allocated")
+	}
+}

@@ -62,10 +62,18 @@ func (p Placement) String() string {
 
 // PARA implements Probabilistic Adjacent Row Activation: on each
 // activation, each side of the activated row is refreshed with
-// probability P/2, out to Radius physical rows — disturbance couples
-// (more weakly) to distance-2 victims too, so a radius-1 refresher
-// leaves the distance-2 population exposed. No per-row state is kept;
-// the paper's argument for PARA is exactly this statelessness.
+// probability P/2, out to Radius physical rows. No per-row state is
+// kept; the paper's argument for PARA is exactly this statelessness.
+//
+// Blast-radius contract: the disturbance model couples aggressors to
+// victims up to two physical rows away (distance-2 coupling, weaker
+// but real), so a complete PARA must refresh out to Radius 2 —
+// NewPARA's default, and the configuration every experiment and
+// overhead number in this repository refers to unless it says
+// otherwise. Radius 1 is the literal ISCA 2014 formulation; it leaves
+// the distance-2 victim population exposed and exists only as an
+// explicit ablation knob (E26). TestPARABlastRadiusContract pins both
+// halves of this contract.
 type PARA struct {
 	// P is the total neighbour-refresh probability per activation.
 	P float64
@@ -74,14 +82,14 @@ type PARA struct {
 	// Oracle is required for InControllerWithSPD.
 	Oracle *spd.AdjacencyOracle
 	// Radius is how many rows on each side a triggered refresh
-	// covers; 2 covers the full observed blast radius.
+	// covers; see the blast-radius contract above.
 	Radius int
 
 	src *rng.Stream
 }
 
 // NewPARA builds a PARA instance with its own random stream and the
-// full blast radius of 2.
+// full blast radius of 2 (the blast-radius contract; see PARA).
 func NewPARA(p float64, where Placement, oracle *spd.AdjacencyOracle, src *rng.Stream) *PARA {
 	return &PARA{P: p, Where: where, Oracle: oracle, Radius: 2, src: src}
 }
@@ -138,18 +146,35 @@ func (p *PARA) StorageBits() int64 { return 0 }
 
 // CRA implements the counter-based approach the paper attributes to
 // Kim et al. (IEEE CAL 2015): one activation counter per row; when a
-// row's count within a refresh window reaches half the safe threshold,
-// its neighbours are refreshed and the counter resets. Exact — no
+// row's count within a refresh window reaches half the safe threshold
+// (rounded up: the smallest count that is at least Threshold/2), its
+// neighbours are refreshed and the counter resets. Exact — no
 // vulnerability window — but the counter table is the large hardware
 // cost the paper criticizes.
+//
+// Counters reset once per retention window, the CAL 2015 letter's
+// cadence: within tREFW every row's charge is restored, so no pressure
+// — and no count — may span two windows. The window length in REF
+// commands depends on the controller's refresh config: at a refresh
+// multiplier m the controller issues m×8192 REF commands per nominal
+// window, so the old hardcoded 8192 silently shrank the window m-fold
+// whenever CRA was combined with refresh-rate scaling. Never resetting
+// early is the conservative direction — a stale counter fires extra
+// refreshes, never fewer.
 type CRA struct {
 	// Threshold is the device's minimum hammer count; neighbours are
-	// refreshed when a counter reaches Threshold/2.
+	// refreshed when a counter reaches ceil(Threshold/2).
 	Threshold int64
 	// CounterBits sizes each counter for the storage estimate.
 	CounterBits int
+	// WindowREFs is the counter-reset window in REF commands. Zero
+	// derives it from the controller the mitigation is attached to at
+	// the first REF: the REF commands issued per nominal retention
+	// window under the configured refresh rate
+	// (Controller.RefsPerRetentionWindow).
+	WindowREFs int64
 
-	counters map[[2]int]int64
+	counters map[[2]int]int64 // (flat bank, phys row) -> count
 	banks    int
 	rows     int
 	refs     int64 // REF commands seen, for window reset
@@ -171,24 +196,33 @@ func (m *CRA) Name() string { return "CRA(counters)" }
 
 // OnActivate implements Mitigation.
 func (m *CRA) OnActivate(c *Controller, bank, logRow int) {
-	k := [2]int{bank, logRow}
+	// Counters key on physical rows: the CAL 2015 proposal places the
+	// counters in the controller but we grant it adjacency knowledge
+	// so the experiment isolates the storage cost axis rather than the
+	// adjacency axis (identical to logical keying on unremapped
+	// devices).
+	phys := c.PhysRowAt(bank, logRow)
+	k := [2]int{bank, phys}
 	m.counters[k]++
-	if m.counters[k] >= m.Threshold/2 {
-		// Refresh true physical neighbours; the CAL 2015 proposal
-		// places the counters in the controller but we grant it
-		// adjacency knowledge so the experiment isolates the storage
-		// cost axis rather than the adjacency axis.
-		phys := c.PhysRowAt(bank, logRow)
+	// ceil(Threshold/2): plain Threshold/2 truncates odd thresholds
+	// and fires one activation early, skewing the overhead attribution
+	// of the frontier sweeps (TestCRAThresholdRounding pins this).
+	if m.counters[k] >= (m.Threshold+1)/2 {
 		c.RefreshPhysRows(bank, []int{phys - 2, phys - 1, phys + 1, phys + 2})
 		m.counters[k] = 0
 	}
 }
 
 // OnAutoRefresh implements Mitigation: counters reset every full
-// refresh window (8192 REFs), since pressure cannot span windows.
+// retention window, since pressure cannot span windows. The window is
+// derived from the controller's refresh config unless WindowREFs pins
+// it explicitly.
 func (m *CRA) OnAutoRefresh(c *Controller) {
+	if m.WindowREFs <= 0 {
+		m.WindowREFs = c.RefsPerRetentionWindow()
+	}
 	m.refs++
-	if m.refs%8192 == 0 {
+	if m.refs%m.WindowREFs == 0 {
 		m.counters = map[[2]int]int64{}
 	}
 }
@@ -209,14 +243,15 @@ type TRR struct {
 	// SampleP is the probability an activation is sampled.
 	SampleP float64
 
-	sampler  map[int][2]int // slot -> (bank, physRow)
+	sampler  [][2]int // slot -> (bank, physRow); slots 0..filled-1 hold samples
+	filled   int
 	nextSlot int
 	src      *rng.Stream
 }
 
 // NewTRR builds an in-DRAM sampler.
 func NewTRR(entries int, sampleP float64, src *rng.Stream) *TRR {
-	return &TRR{Entries: entries, SampleP: sampleP, sampler: map[int][2]int{}, src: src}
+	return &TRR{Entries: entries, SampleP: sampleP, sampler: make([][2]int, entries), src: src}
 }
 
 // Name implements Mitigation.
@@ -229,16 +264,24 @@ func (m *TRR) OnActivate(c *Controller, bank, logRow int) {
 	}
 	// Round-robin eviction: a new sample overwrites the oldest slot.
 	m.sampler[m.nextSlot] = [2]int{bank, c.PhysRowAt(bank, logRow)}
+	if m.filled < m.Entries {
+		m.filled++
+	}
 	m.nextSlot = (m.nextSlot + 1) % m.Entries
 }
 
 // OnAutoRefresh implements Mitigation: refresh neighbours of all
-// sampled aggressors, then clear the sampler.
+// sampled aggressors, then clear the sampler. Slots drain in slot
+// order — never in Go map order — because each neighbour refresh is
+// charged time and energy sequentially, so the drain order is part of
+// the simulation's determinism contract
+// (TestTRRRefreshOrderDeterministic pins it).
 func (m *TRR) OnAutoRefresh(c *Controller) {
-	for _, v := range m.sampler {
+	for i := 0; i < m.filled; i++ {
+		v := m.sampler[i]
 		c.RefreshPhysRows(v[0], []int{v[1] - 2, v[1] - 1, v[1] + 1, v[1] + 2})
 	}
-	m.sampler = map[int][2]int{}
+	m.filled = 0
 	m.nextSlot = 0
 }
 

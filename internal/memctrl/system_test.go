@@ -195,6 +195,97 @@ func hammerAllChannels(ms *MemorySystem, workers int) {
 	})
 }
 
+// TestMitigatedShardedExecutionBitIdentical extends the sharding
+// equivalence proof to mitigated runs: every mitigation in the
+// registry is attached — one independent instance per channel, with
+// per-channel random streams where the mitigation draws randomness —
+// to all channels of a 4×2 topology, and the same cross-bank hammer
+// campaign must leave serial and channel-sharded twins bit-identical:
+// cell contents, fault-model flips, controller stats (including
+// mitigation refresh and time charging) and clocks.
+func TestMitigatedShardedExecutionBitIdentical(t *testing.T) {
+	topo := dram.Topology{Channels: 4, Ranks: 2, Geom: dram.Geometry{Banks: 2, Rows: 48, Cols: 4}}
+	kinds := []struct {
+		name   string
+		attach func(c *Controller, ch int)
+	}{
+		{"PARA", func(c *Controller, ch int) {
+			c.Attach(NewPARA(0.02, InDRAM, nil, rng.New(uint64(1000+ch))))
+		}},
+		{"CRA", func(c *Controller, ch int) {
+			c.Attach(NewCRA(900, topo.Ranks*topo.Geom.Banks, topo.Geom.Rows))
+		}},
+		{"TRR", func(c *Controller, ch int) {
+			c.Attach(NewTRR(4, 0.01, rng.New(uint64(2000+ch))))
+		}},
+		{"ANVIL", func(c *Controller, ch int) { c.Attach(NewANVIL()) }},
+		{"Graphene", func(c *Controller, ch int) {
+			c.Attach(NewGraphene(4, 900, topo.Ranks*topo.Geom.Banks))
+		}},
+		{"TWiCe", func(c *Controller, ch int) {
+			c.Attach(NewTWiCe(900, topo.Ranks*topo.Geom.Banks))
+		}},
+		{"RefreshScaling", func(c *Controller, ch int) { c.Attach(NewRefreshScaling(3)) }},
+	}
+	hammer := func(ms *MemorySystem, workers int) {
+		ms.ShardChannels(workers, func(ch int, c *Controller) {
+			for rk := 0; rk < topo.Ranks; rk++ {
+				for b := 0; b < topo.Geom.Banks; b++ {
+					for v := 5; v < topo.Geom.Rows-1; v += 11 {
+						c.HammerPairsRanked(rk, b, v-1, v+1, 600)
+					}
+				}
+			}
+		})
+	}
+	for _, kind := range kinds {
+		build := func() (*MemorySystem, []*disturb.Model) {
+			ms, dms := newDisturbedSystem(topo, 77)
+			for ch := 0; ch < ms.Channels(); ch++ {
+				kind.attach(ms.Controller(ch), ch)
+			}
+			return ms, dms
+		}
+		serial, serialDMs := build()
+		sharded, shardedDMs := build()
+		hammer(serial, 1)
+		hammer(sharded, 4)
+		for i := range serialDMs {
+			if a, b := serialDMs[i].TotalFlips(), shardedDMs[i].TotalFlips(); a != b {
+				t.Fatalf("%s: device %d flips %d vs %d", kind.name, i, a, b)
+			}
+		}
+		agg := serial.AggregateStats()
+		if kind.name != "RefreshScaling" && agg.MitRefreshes == 0 {
+			t.Fatalf("%s: campaign never engaged the mitigation; equivalence is vacuous", kind.name)
+		}
+		for ch := 0; ch < topo.Channels; ch++ {
+			a, b := serial.Controller(ch), sharded.Controller(ch)
+			if a.Stats != b.Stats || a.Now() != b.Now() {
+				t.Fatalf("%s: channel %d diverged:\nserial  %+v t=%d\nsharded %+v t=%d",
+					kind.name, ch, a.Stats, a.Now(), b.Stats, b.Now())
+			}
+			for rk := 0; rk < topo.Ranks; rk++ {
+				da, db := serial.Device(ch, rk), sharded.Device(ch, rk)
+				if da.Stats != db.Stats {
+					t.Fatalf("%s: ch%d/rk%d device stats diverged", kind.name, ch, rk)
+				}
+				for bk := 0; bk < topo.Geom.Banks; bk++ {
+					for r := 0; r < topo.Geom.Rows; r++ {
+						wa, wb := da.PhysRowWords(bk, r), db.PhysRowWords(bk, r)
+						for col := range wa {
+							if wa[col] != wb[col] {
+								t.Fatalf("%s: ch%d/rk%d bank %d row %d col %d: %#x vs %#x",
+									kind.name, ch, rk, bk, r, col, wa[col], wb[col])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestShardedExecutionBitIdentical is the sharding equivalence proof:
 // the same multi-channel hammer campaign run serially and with
 // channels sharded across workers must leave bit-identical systems —

@@ -166,6 +166,38 @@ func (h *Hammer) Next() Access {
 	return a
 }
 
+// NSided is the TRRespass-style attacker stream: it cycles N aggressor
+// rows in round-robin and then touches each decoy row once per cycle.
+// Spreading activations over more aggressors than an in-DRAM sampler
+// holds — and burning its remaining slots on decoys that sandwich no
+// victim — is the pattern that defeats capacity-limited defences; the
+// frontier experiments (E41) drive it through Run like any other
+// workload so it can also be mixed into benign traffic.
+type NSided struct {
+	rows []memctrl.Coord
+	i    int
+}
+
+// NewNSided creates the stream over the given aggressor and decoy rows
+// of one bank.
+func NewNSided(bank int, aggressors, decoys []int) *NSided {
+	n := &NSided{}
+	for _, r := range append(append([]int{}, aggressors...), decoys...) {
+		n.rows = append(n.rows, memctrl.Coord{Bank: bank, Row: r})
+	}
+	return n
+}
+
+// Name implements Generator.
+func (n *NSided) Name() string { return "nsided-hammer" }
+
+// Next implements Generator.
+func (n *NSided) Next() Access {
+	a := Access{Coord: n.rows[n.i]}
+	n.i = (n.i + 1) % len(n.rows)
+	return a
+}
+
 // Mix interleaves component generators with the given weights,
 // modelling an attacker sharing the memory system with benign
 // tenants.
