@@ -92,6 +92,10 @@ func BenchmarkE30MappingLocality(b *testing.B)    { benchExperiment(b, "E30") }
 func BenchmarkE31TopologyTemplating(b *testing.B) { benchExperiment(b, "E31") }
 func BenchmarkE32PARATopology(b *testing.B)       { benchExperiment(b, "E32") }
 func BenchmarkE33ShardEquivalence(b *testing.B)   { benchExperiment(b, "E33") }
+func BenchmarkE50TopologyProfiling(b *testing.B)  { benchExperiment(b, "E50") }
+func BenchmarkE51ControllerRAIDR(b *testing.B)    { benchExperiment(b, "E51") }
+func BenchmarkE52MillionDIMMFleet(b *testing.B)   { benchExperiment(b, "E52") }
+func BenchmarkE53RetentionHotPath(b *testing.B)   { benchExperiment(b, "E53") }
 
 // BenchmarkMultiChannelSweep is the multi-channel hammer hot path in
 // isolation: a cross-bank campaign over a 4-channel 2-rank topology,

@@ -11,7 +11,7 @@
 //
 //	rowhammer [-year 2013] [-pairs 30000]
 //	          [-mode double|single|many|nsided|adaptive]
-//	          [-mitigation none|para|cra|trr|anvil|graphene|twice|refresh2|refresh7]
+//	          [-mitigation none|para|cra|trr|anvil|graphene|twice|refresh2|refresh7|raidr4|raidr8]
 //	          [-sides N] [-decoys N] [-seed N]
 //	          [-channels 1] [-ranks 1] [-mapping row|channel|xor]
 //	          [-shards N]
@@ -21,6 +21,13 @@
 // -mode adaptive first probes the sidedness sweep on channel 0 and
 // then attacks the whole topology with the winner. -mitigate remains
 // as a deprecated alias of -mitigation.
+//
+// -mitigation raidr4/raidr8 is not a defence: it attaches the
+// controller-integrated multi-rate refresh policy with every row in
+// the 4x/8x slow bin (the maximum-savings RAIDR plan with no weak-row
+// knowledge), so the run measures how much a stretched refresh
+// schedule amplifies the attack — E51's co-design caution from the
+// command line.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/modules"
+	"repro/internal/raidr"
 	"repro/internal/rng"
 )
 
@@ -41,7 +49,7 @@ func main() {
 	pairs := flag.Int("pairs", 30000, "hammer pairs (or N-sided rounds) per victim")
 	mode := flag.String("mode", "double", "hammer mode: double, single, many, nsided, adaptive")
 	mitigation := flag.String("mitigation", "none",
-		"mitigation: none, para, cra, trr, anvil, graphene, twice, refresh2, refresh7")
+		"mitigation: none, para, cra, trr, anvil, graphene, twice, refresh2, refresh7, raidr4, raidr8")
 	mitigate := flag.String("mitigate", "", "deprecated alias of -mitigation")
 	sides := flag.Int("sides", 4, "aggressor rows per N-sided region (nsided mode)")
 	decoys := flag.Int("decoys", 2, "decoy rows per bank (nsided/adaptive modes)")
@@ -139,6 +147,14 @@ func main() {
 		})
 	case "anvil":
 		attachEach(func(int) memctrl.Mitigation { return memctrl.NewANVIL() })
+	case "raidr4", "raidr8":
+		mult := 4
+		if *mitigation == "raidr8" {
+			mult = 8
+		}
+		attachEach(func(int) memctrl.Mitigation {
+			return memctrl.NewMultiRate(raidr.NewPlan(g.Rows, nil, mult))
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mitigation %q\n", *mitigation)
 		os.Exit(1)

@@ -18,18 +18,23 @@
 //
 //   - internal/dram, internal/disturb, internal/retention: the DRAM
 //     device (one rank) and its two failure mechanisms, plus
-//     dram.Topology describing channel/rank shape. The disturbance hot
-//     path uses dense flat-slice indexes and batched burst dispatch
-//     (dram.HammerFaultModel); see README.md for the batching contract
-//     and measured speedups.
+//     dram.Topology describing channel/rank shape. Both fault models
+//     use dense flat-slice indexes with batched dispatch — hammer
+//     bursts (dram.HammerFaultModel) and whole-bank refresh storms
+//     (dram.BankRefreshFaultModel, Device.RefreshBankAll) — with the
+//     seed implementations retained as equivalence oracles
+//     (disturb.Reference, retention.Reference); see README.md for the
+//     batching contracts and measured speedups.
 //   - internal/memctrl: the memory-controller stack: pluggable
 //     address-mapping policies (row-interleaved, channel-interleaved,
 //     XOR bank hash), the per-channel multi-rank Controller with the
 //     pluggable mitigation registry — first generation (PARA, CRA,
 //     TRR, ANVIL) and the second-generation frontier (Graphene top-k
 //     tracking, TWiCe pruned counters, attachable RefreshScaling) —
-//     and batched HammerPairs sweep path, and the multi-channel
-//     MemorySystem with channel-sharded execution.
+//     the controller-integrated RAIDR multi-rate refresh policy
+//     (MultiRateRefresh driving raidr.Plan bins through the refresh
+//     engine), and batched HammerPairs sweep path, and the
+//     multi-channel MemorySystem with channel-sharded execution.
 //   - internal/ecc, internal/spd: SECDED(72,64) and the adjacency ROM
 //   - internal/modules: the 129-module population behind Figure 1,
 //     with per-device RNG substreams for multi-device topologies
@@ -42,12 +47,17 @@
 //   - internal/flash, internal/ftl: MLC NAND in the threshold-voltage
 //     domain plus FCR, RFR, NAC and read-disturb management
 //   - internal/pcm: Start-Gap wear leveling under write attack
-//   - internal/profile, internal/core, internal/exp: profiling,
-//     analysis, topology-aware system building (core.Build), the
-//     E1-E44 experiment registry (E40-E44 are the mitigation-frontier
-//     Pareto sweeps), and the parallel experiment Runner
-//     (experiment-level pool plus channel-level sharding) with its
-//     machine-readable benchmark summaries (BENCH_*.json)
+//   - internal/profile, internal/core, internal/exp: profiling over
+//     bank sets, whole devices and whole topologies (CampaignSystem,
+//     channel-sharded), analysis, topology-aware system building
+//     (core.Build), the E1-E53 experiment registry (E40-E44 the
+//     mitigation-frontier Pareto sweeps, E50-E53 the retention /
+//     profiling / multi-rate-refresh stack at topology scale), and the
+//     parallel experiment Runner (experiment-level pool plus
+//     channel-level sharding) with its machine-readable benchmark
+//     summaries (BENCH_*.json)
+//   - internal/fieldstudy: the DSN'15-class fleet Monte Carlo, with
+//     the block-sharded RunSharded engine scaling it to ~1M DIMMs
 //
 // This facade re-exports the handful of entry points downstream code
 // needs; everything else is importable within the module from the
@@ -76,7 +86,7 @@ func Build(m *Module, opt Options) *System { return core.Build(m, opt) }
 // Population returns the 129-module study population.
 func Population(seed uint64) []Module { return modules.Population(seed) }
 
-// Experiments lists the registered experiments (E1..E44).
+// Experiments lists the registered experiments (E1..E53).
 func Experiments() []exp.Experiment { return exp.All() }
 
 // Runner executes experiments on a parallel worker pool; results are

@@ -179,8 +179,9 @@ type Model struct {
 }
 
 var (
-	_ dram.FaultModel       = (*Model)(nil)
-	_ dram.HammerFaultModel = (*Model)(nil)
+	_ dram.FaultModel            = (*Model)(nil)
+	_ dram.HammerFaultModel      = (*Model)(nil)
+	_ dram.BankRefreshFaultModel = (*Model)(nil)
 )
 
 // NewModel samples the weak-cell population for a device of the given
@@ -262,6 +263,24 @@ func (m *Model) OnActivate(d *dram.Device, bank, physRow int, now dram.Time) {
 // charge and re-arms its weak cells.
 func (m *Model) OnRefresh(d *dram.Device, bank, physRow int, now dram.Time) {
 	m.restoreRow(bank, physRow)
+}
+
+// BatchableBankRefresh implements dram.BankRefreshFaultModel: a refresh
+// sweep only zeroes per-cell pressure, touching no state any other
+// model reads, so it always batches (duplicate cells restore in the
+// same slot order either way).
+func (m *Model) BatchableBankRefresh(bank int) bool { return true }
+
+// OnRefreshBankBatch implements dram.BankRefreshFaultModel: identical
+// to refreshing rows 0..Rows-1 in order, in O(victim rows) instead of
+// Rows dispatches.
+func (m *Model) OnRefreshBankBatch(d *dram.Device, bank int, now dram.Time) {
+	base := bank * m.geom.Rows
+	for r := 0; r < m.geom.Rows; r++ {
+		if len(m.victimIdx[base+r]) > 0 {
+			m.restoreRow(bank, r)
+		}
+	}
 }
 
 func (m *Model) restoreRow(bank, physRow int) {

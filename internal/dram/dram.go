@@ -424,6 +424,66 @@ func (d *Device) HammerPairCycles(b, rowA, rowB, n int, start, period Time) (Tim
 	return d.hammerPairDispatch(b, rowA, rowB, n, start, period)
 }
 
+// --- Batched refresh path ---
+
+// BankRefreshFaultModel is the optional batched-refresh extension of
+// FaultModel used by RefreshBankAll. A model implementing it can apply
+// a whole-bank refresh sweep in one call.
+//
+// Batching contract: OnRefreshBankBatch(d, bank, now) must leave the
+// model and the device bits in exactly the state Geom.Rows consecutive
+// OnRefresh(d, bank, r, now) calls at r = 0, 1, ..., Rows-1 would —
+// bit-identical floats and random draws included, so the model must
+// visit its per-row state in ascending physical-row order. The batch is
+// dispatched model by model (model A sweeps every row before model B
+// starts) instead of row by row; a model whose OnRefresh reads state
+// that another attached model's OnRefresh mutates cannot guarantee
+// equivalence under that reordering and must return false from
+// BatchableBankRefresh, which makes the device fall back to per-row
+// dispatch for every model. Batchable* must be side-effect free.
+type BankRefreshFaultModel interface {
+	FaultModel
+	// BatchableBankRefresh reports whether a whole-bank refresh sweep
+	// can be applied batched for the given bank.
+	BatchableBankRefresh(bank int) bool
+	// OnRefreshBankBatch applies OnRefresh for every physical row of
+	// the bank, in ascending row order, at time now.
+	OnRefreshBankBatch(d *Device, bank int, now Time)
+}
+
+// RefreshBankAll refreshes every physical row of one bank at time now —
+// the refresh-storm shape retention experiments, profiling passes and
+// multi-rate refresh sweeps issue. It is behaviourally identical to
+// calling RefreshPhysRow for rows 0..Rows-1 in order; when every
+// attached fault model supports batched bank refresh the sweep costs
+// O(weak rows) fault work instead of Rows full dispatches.
+func (d *Device) RefreshBankAll(b int, now Time) {
+	bk := d.bank(b)
+	rows := d.Geom.Rows
+	batchable := true
+	for _, f := range d.faults {
+		rf, ok := f.(BankRefreshFaultModel)
+		if !ok || !rf.BatchableBankRefresh(b) {
+			batchable = false
+			break
+		}
+	}
+	if !batchable && len(d.faults) > 0 {
+		for r := 0; r < rows; r++ {
+			d.RefreshPhysRow(b, r, now)
+		}
+		return
+	}
+	for _, f := range d.faults {
+		f.(BankRefreshFaultModel).OnRefreshBankBatch(d, b, now)
+	}
+	for r := 0; r < rows; r++ {
+		bk.lastRestore[r] = now
+	}
+	d.Stats.RowRefreshes += int64(rows)
+	d.Stats.OpEnergyPJ += d.Energy.REFPerRow * float64(rows)
+}
+
 // BatchReads accounts n column-read bursts against the open row of
 // bank b without transferring data. It is the bookkeeping half of n
 // Read calls whose data is discarded, used by batched hammer sweeps.

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestE50EscapesShrinkWithBattery(t *testing.T) {
+	rows := runTable(t, "E50")
+	// Per topology: escapes shrink as the battery improves but never
+	// reach zero (VRT is memoryless).
+	byTopo := map[string][][]string{}
+	for _, r := range rows {
+		byTopo[r[0]] = append(byTopo[r[0]], r)
+	}
+	if len(byTopo) < 2 {
+		t.Fatalf("E50 covers %d topologies, want >= 2", len(byTopo))
+	}
+	for topo, trs := range byTopo {
+		solid := cellFloat(t, trs[0][5])
+		best := cellFloat(t, trs[len(trs)-1][5])
+		if best > solid {
+			t.Fatalf("%s: escapes grew with better profiling: %v -> %v", topo, solid, best)
+		}
+		if solid == 0 {
+			t.Fatalf("%s: solid profiling should leak escapes", topo)
+		}
+		if best == 0 {
+			t.Fatalf("%s: VRT escapes should survive the best battery", topo)
+		}
+	}
+}
+
+func TestE51ExposureOnlyUnderGuessedMapping(t *testing.T) {
+	rows := runTable(t, "E51")
+	for _, r := range rows {
+		policy, mult := r[0], r[1]
+		saved := cellFloat(t, r[2])
+		flips := cellFloat(t, r[3])
+		if mult == "1" {
+			if saved != 0 {
+				t.Fatalf("%s x1: nominal plan saved %v%%", policy, saved)
+			}
+			if flips != 0 {
+				t.Fatalf("%s x1: nominal refresh leaked %v flips", policy, flips)
+			}
+			continue
+		}
+		if saved <= 0 {
+			t.Fatalf("%s x%s: slow bin saved nothing", policy, mult)
+		}
+		if policy == "row-interleaved" && flips == 0 {
+			t.Fatalf("row-interleaved x%s: slow bin did not expose the victim", mult)
+		}
+		if policy != "row-interleaved" && flips != 0 {
+			t.Fatalf("%s x%s: naive attacker should miss under a different mapping (%v flips)",
+				policy, mult, flips)
+		}
+	}
+}
+
+func TestE52FieldSignaturesAtScale(t *testing.T) {
+	rows := runTable(t, "E52")
+	total, prev := 0.0, -1.0
+	for _, r := range rows {
+		total += cellFloat(t, r[1])
+		rate := cellFloat(t, r[2])
+		if rate <= prev {
+			t.Fatal("CE rate not growing with density")
+		}
+		prev = rate
+		if share := cellFloat(t, r[4]); share < 30 {
+			t.Fatalf("top-1%% share %v%%; errors not concentrated", share)
+		}
+	}
+	if total < 1e6 {
+		t.Fatalf("fleet has %v DIMMs, want ~1M", total)
+	}
+}
+
+func TestE53BitIdentical(t *testing.T) {
+	rows := runTable(t, "E53")
+	for _, r := range rows {
+		if r[4] != "true" {
+			t.Fatalf("interval %s: flat index diverged from reference (%s vs %s decays)",
+				r[0], r[2], r[3])
+		}
+		if cellFloat(t, r[2]) == 0 {
+			t.Fatalf("interval %s: no decays; equivalence row is vacuous", r[0])
+		}
+	}
+}
+
+// TestScaleExperimentsShardInvariant: E50-E53 produce bit-identical
+// tables for every channel-shard fan-out, at two seeds.
+func TestScaleExperimentsShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed experiment sweep")
+	}
+	for _, id := range []string{"E50", "E51", "E52", "E53"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		for _, seed := range []uint64{1, 5} {
+			var want string
+			for _, shards := range []int{1, 3, 7} {
+				r := (&Runner{Workers: 1, Seed: seed, ShardWorkers: shards}).Run([]Experiment{e})
+				if r[0].Err != nil {
+					t.Fatalf("%s seed %d shards %d: %v", id, seed, shards, r[0].Err)
+				}
+				got := r[0].Table.String()
+				if shards == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("%s seed %d: table differs between 1 and %d shards", id, seed, shards)
+				}
+			}
+		}
+	}
+}

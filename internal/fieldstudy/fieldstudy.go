@@ -26,6 +26,7 @@ package fieldstudy
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/rng"
 )
@@ -97,6 +98,130 @@ type ClassStats struct {
 type Result struct {
 	Records []DIMMRecord
 	Classes []ClassStats
+}
+
+// blockDIMMs is the fixed shard-block size of RunSharded: every block
+// of this many DIMMs draws from its own seed-derived substream, so the
+// simulated fleet is a pure function of the seed no matter how many
+// workers execute the blocks.
+const blockDIMMs = 8192
+
+// simulateDIMM rolls one DIMM's service history from the stream.
+func simulateDIMM(cfg Config, scale float64, src *rng.Stream) (ce, ue int64) {
+	lambda := cfg.BaseRate * scale * src.LogNormal(0, cfg.TailSigma)
+	for m := 0; m < cfg.Months; m++ {
+		ce += src.Poisson(lambda)
+		pUE := cfg.UEPerCE * lambda
+		if pUE > 1 {
+			pUE = 1
+		}
+		if src.Bool(pUE) {
+			ue++
+		}
+	}
+	return ce, ue
+}
+
+// RunSharded simulates the fleet like Run but scales to millions of
+// DIMMs: DIMMs are partitioned into fixed blocks of blockDIMMs, each
+// block draws from its own substream of the seed, and blocks execute
+// on up to workers goroutines. The result is bit-identical for every
+// worker count (blocks share no state and merge in block order), which
+// is what lets the ~1M-DIMM experiment (E52) ride the same sharded
+// engine as the topology experiments. Per-DIMM records are not
+// retained — only the per-class statistics, including the top-1%
+// concentration share computed over all per-DIMM CE counts.
+func RunSharded(cfg Config, seed uint64, workers int) []ClassStats {
+	type block struct {
+		class, start, count int
+	}
+	var blocks []block
+	for ci, cls := range cfg.Classes {
+		for start := 0; start < cls.DIMMs; start += blockDIMMs {
+			count := cls.DIMMs - start
+			if count > blockDIMMs {
+				count = blockDIMMs
+			}
+			blocks = append(blocks, block{class: ci, start: start, count: count})
+		}
+	}
+	type blockResult struct {
+		ce     []int64
+		ceSum  int64
+		ueSum  int64
+		withCE int
+	}
+	results := make([]blockResult, len(blocks))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range jobs {
+				b := blocks[bi]
+				// The substream is keyed on (class, block start), never
+				// on the block's execution slot. The class sits above
+				// bit 40 so the key cannot collide until a class holds
+				// 2^40 DIMMs.
+				src := rng.New(seed + 0x9e3779b97f4a7c15*(uint64(b.class)<<40+uint64(b.start)+1))
+				r := blockResult{ce: make([]int64, b.count)}
+				scale := cfg.Classes[b.class].RateScale
+				for i := 0; i < b.count; i++ {
+					ce, ue := simulateDIMM(cfg, scale, src)
+					r.ce[i] = ce
+					r.ceSum += ce
+					r.ueSum += ue
+					if ce > 0 {
+						r.withCE++
+					}
+				}
+				results[bi] = r
+			}
+		}()
+	}
+	for bi := range blocks {
+		jobs <- bi
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := make([]ClassStats, len(cfg.Classes))
+	perClassCE := make([][]int64, len(cfg.Classes))
+	for bi, b := range blocks {
+		r := results[bi]
+		out[b.class].CEPerDIMMMonth += float64(r.ceSum)
+		out[b.class].UEPerThousandDIMMMonth += float64(r.ueSum)
+		out[b.class].FracDIMMsWithCE += float64(r.withCE)
+		perClassCE[b.class] = append(perClassCE[b.class], r.ce...)
+	}
+	for ci, cls := range cfg.Classes {
+		dimmMonths := float64(cls.DIMMs * cfg.Months)
+		s := &out[ci]
+		s.Label = cls.Label
+		s.DIMMs = cls.DIMMs
+		totalCE := s.CEPerDIMMMonth
+		s.CEPerDIMMMonth = totalCE / dimmMonths
+		s.UEPerThousandDIMMMonth = s.UEPerThousandDIMMMonth / dimmMonths * 1000
+		s.FracDIMMsWithCE /= float64(cls.DIMMs)
+		ces := perClassCE[ci]
+		sort.Slice(ces, func(i, j int) bool { return ces[i] > ces[j] })
+		top := int(math.Ceil(float64(len(ces)) * 0.01))
+		var topCE int64
+		for i := 0; i < top; i++ {
+			topCE += ces[i]
+		}
+		if totalCE > 0 {
+			s.Top1PctShare = float64(topCE) / totalCE
+		}
+	}
+	return out
 }
 
 // Run simulates the fleet. Deterministic given the stream.

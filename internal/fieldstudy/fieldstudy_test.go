@@ -85,6 +85,50 @@ func TestDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunShardedWorkerInvariant: the block-substream design makes the
+// sharded fleet a pure function of the seed — every worker count
+// produces bit-identical class statistics.
+func TestRunShardedWorkerInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	// Straddle block boundaries: one class below blockDIMMs, one at a
+	// partial last block.
+	cfg.Classes = []DensityClass{
+		{"1Gb", 1.0, 5000},
+		{"2Gb", 2.2, blockDIMMs + 3000},
+		{"4Gb", 4.5, 2 * blockDIMMs},
+	}
+	serial := RunSharded(cfg, 9, 1)
+	for _, workers := range []int{2, 3, 8} {
+		sharded := RunSharded(cfg, 9, workers)
+		for i := range serial {
+			if serial[i] != sharded[i] {
+				t.Fatalf("workers=%d class %d diverged:\nserial  %+v\nsharded %+v",
+					workers, i, serial[i], sharded[i])
+			}
+		}
+	}
+}
+
+// TestRunShardedSignatures: the sharded engine reproduces the same
+// field-study signatures as Run — rates grow with density, errors
+// concentrate, most DIMMs stay clean.
+func TestRunShardedSignatures(t *testing.T) {
+	classes := RunSharded(DefaultConfig(), 10, 4)
+	prev := -1.0
+	for _, c := range classes {
+		if c.CEPerDIMMMonth <= prev {
+			t.Fatalf("CE rate not growing with density at %s", c.Label)
+		}
+		prev = c.CEPerDIMMMonth
+		if c.Top1PctShare < 0.3 || c.Top1PctShare > 0.999 {
+			t.Fatalf("class %s: top-1%% share %.3f out of field-study range", c.Label, c.Top1PctShare)
+		}
+		if c.FracDIMMsWithCE > 0.6 {
+			t.Fatalf("class %s: %.0f%% DIMMs with CE; should be a minority", c.Label, 100*c.FracDIMMsWithCE)
+		}
+	}
+}
+
 func TestUEProbabilityClamped(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.UEPerCE = 1e6 // absurd scale: probability must clamp, not panic

@@ -127,7 +127,10 @@ type Controller struct {
 
 	mitigations []Mitigation
 	observers   int // attached mitigations that are not passive
-	Stats       Stats
+	// refPolicy, when attached, replaces the uniform per-REF row sweep
+	// (multi-rate refresh).
+	refPolicy autoRefreshPolicy
+	Stats     Stats
 }
 
 // New creates a controller over one device (a single-rank channel).
@@ -198,6 +201,18 @@ type refreshScaler interface{ RefreshFactor() float64 }
 // mitigations are attached.
 type passiveMitigation interface{ Passive() }
 
+// autoRefreshPolicy is the hook through which an attached mitigation
+// replaces the controller's uniform per-REF row sweep with its own row
+// schedule (MultiRateRefresh implements it). bind is called at attach
+// time to validate the policy against the controller's topology;
+// serviceREF refreshes this REF command's due rows on every rank and
+// returns how many rows it refreshed versus the uniform sweep's
+// nominal budget, which scales the REF's tRFC busy-time charge.
+type autoRefreshPolicy interface {
+	bind(c *Controller)
+	serviceREF(c *Controller) (refreshed, nominal int64)
+}
+
 // Attach registers a mitigation. Mitigations see every activate on
 // every rank; the bank index they observe is the flat rank*Banks+bank,
 // which equals the plain bank index on single-rank channels.
@@ -211,6 +226,13 @@ func (c *Controller) Attach(m Mitigation) {
 	c.mitigations = append(c.mitigations, m)
 	if _, ok := m.(passiveMitigation); !ok {
 		c.observers++
+	}
+	if rp, ok := m.(autoRefreshPolicy); ok {
+		if c.refPolicy != nil {
+			panic("memctrl: a refresh policy is already attached; only one row schedule can drive the refresh engine")
+		}
+		rp.bind(c)
+		c.refPolicy = rp
 	}
 	if rs, ok := m.(refreshScaler); ok {
 		if f := rs.RefreshFactor(); f > 0 {
@@ -253,13 +275,25 @@ func (c *Controller) serviceRefresh() {
 			for b := 0; b < c.cfg.Geom.Banks; b++ {
 				dev.Precharge(b)
 			}
-			dev.AutoRefresh(c.now)
+			if c.refPolicy == nil {
+				dev.AutoRefresh(c.now)
+			}
 		}
 		c.Stats.AutoRefreshes++
 		// tRFC steals bandwidth within the tREFI budget rather than
 		// stretching it; it is charged as busy time, the quantity the
-		// refresh-burden experiment reports as throughput loss.
-		c.Stats.RefreshTime += c.ranks[0].Timing.TRFC
+		// refresh-burden experiment reports as throughput loss. A
+		// multi-rate policy refreshes a subset of the nominal per-REF
+		// row budget, and its REF occupies the proportional tRFC share
+		// — the bandwidth half of RAIDR's savings.
+		if c.refPolicy != nil {
+			refreshed, nominal := c.refPolicy.serviceREF(c)
+			if nominal > 0 {
+				c.Stats.RefreshTime += dram.Time(float64(c.ranks[0].Timing.TRFC) * float64(refreshed) / float64(nominal))
+			}
+		} else {
+			c.Stats.RefreshTime += c.ranks[0].Timing.TRFC
+		}
 		c.nextRefDue += c.refPeriod
 		for _, m := range c.mitigations {
 			m.OnAutoRefresh(c)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/disturb"
 	"repro/internal/dram"
+	"repro/internal/raidr"
 	"repro/internal/rng"
 )
 
@@ -226,6 +227,9 @@ func TestMitigatedShardedExecutionBitIdentical(t *testing.T) {
 			c.Attach(NewTWiCe(900, topo.Ranks*topo.Geom.Banks))
 		}},
 		{"RefreshScaling", func(c *Controller, ch int) { c.Attach(NewRefreshScaling(3)) }},
+		{"MultiRate", func(c *Controller, ch int) {
+			c.Attach(NewMultiRate(raidr.NewPlan(topo.Geom.Rows, map[int]bool{5: true}, 4)))
+		}},
 	}
 	hammer := func(ms *MemorySystem, workers int) {
 		ms.ShardChannels(workers, func(ch int, c *Controller) {
@@ -256,7 +260,7 @@ func TestMitigatedShardedExecutionBitIdentical(t *testing.T) {
 			}
 		}
 		agg := serial.AggregateStats()
-		if kind.name != "RefreshScaling" && agg.MitRefreshes == 0 {
+		if kind.name != "RefreshScaling" && kind.name != "MultiRate" && agg.MitRefreshes == 0 {
 			t.Fatalf("%s: campaign never engaged the mitigation; equivalence is vacuous", kind.name)
 		}
 		for ch := 0; ch < topo.Channels; ch++ {

@@ -7,15 +7,34 @@
 // central claim about retention testing: data-pattern-dependent cells
 // are missed by the wrong pattern, and VRT cells can escape any finite
 // profiling campaign.
+//
+// Profiling scales with the topology: a Profiler covers any bank set
+// of one device (New for the single-bank testbeds, NewDevice for whole
+// devices), and CampaignSystem profiles every bank of every rank of
+// every channel of a memctrl.MemorySystem, sharding the independent
+// channels across workers with bit-identical results for every worker
+// count (channels share no state; TestCampaignSystemShardInvariant
+// proves it). Refresh passes go through the device's batched bank
+// sweep (dram.Device.RefreshBankAll), which costs O(weak rows) fault
+// work per sweep instead of one dispatch per row.
 package profile
 
 import (
+	"sort"
+
 	"repro/internal/dram"
+	"repro/internal/memctrl"
 )
 
-// CellKey identifies a cell by physical location.
+// CellKey identifies a cell by physical location within one device.
 type CellKey struct {
 	Bank, PhysRow, Bit int
+}
+
+// SystemKey identifies a cell across a whole topology.
+type SystemKey struct {
+	Channel, Rank int
+	Cell          CellKey
 }
 
 // Pattern is one test data configuration: the value written to victim
@@ -48,58 +67,76 @@ func SolidOnly() []Pattern {
 	}
 }
 
-// Profiler drives profiling passes over one bank of a device. It owns
-// the simulated clock while profiling (refresh is suspended, exactly
-// as a controller-driven profiling pass would fence off a region).
+// Profiler drives profiling passes over a bank set of one device. It
+// owns the simulated clock while profiling (refresh is suspended,
+// exactly as a controller-driven profiling pass would fence off the
+// region under test). All banks of the set share each pass's test
+// interval, the way a real controller-driven pass fences and times a
+// whole device at once.
 type Profiler struct {
 	dev   *dram.Device
-	bank  int
+	banks []int
 	clock dram.Time
 }
 
-// New creates a profiler starting at the given simulated time.
+// New creates a profiler over a single bank starting at the given
+// simulated time — the original one-bank testbed shape.
 func New(dev *dram.Device, bank int, start dram.Time) *Profiler {
-	return &Profiler{dev: dev, bank: bank, clock: start}
+	return &Profiler{dev: dev, banks: []int{bank}, clock: start}
+}
+
+// NewDevice creates a profiler covering every bank of the device.
+func NewDevice(dev *dram.Device, start dram.Time) *Profiler {
+	banks := make([]int, dev.Geom.Banks)
+	for b := range banks {
+		banks[b] = b
+	}
+	return &Profiler{dev: dev, banks: banks, clock: start}
 }
 
 // Clock returns the profiler's current simulated time.
 func (p *Profiler) Clock() dram.Time { return p.clock }
 
-// RunPattern executes one pattern at one test interval and returns the
-// weak cells it caught. Two sub-passes alternate the victim parity so
-// every row is profiled as a victim against the neighbour value.
+// RunPattern executes one pattern at one test interval over the bank
+// set and returns the weak cells it caught. Two sub-passes alternate
+// the victim parity so every row is profiled as a victim against the
+// neighbour value.
 func (p *Profiler) RunPattern(pat Pattern, interval dram.Time) map[CellKey]bool {
 	found := map[CellKey]bool{}
 	rows := p.dev.Geom.Rows
 	cols := p.dev.Geom.Cols
 	for parity := 0; parity < 2; parity++ {
 		// Fill: victims hold pat.Victim, others pat.Neighbor.
-		for r := 0; r < rows; r++ {
-			if r%2 == parity {
-				p.dev.FillPhysRow(p.bank, r, pat.Victim)
-			} else {
-				p.dev.FillPhysRow(p.bank, r, pat.Neighbor)
+		for _, b := range p.banks {
+			for r := 0; r < rows; r++ {
+				if r%2 == parity {
+					p.dev.FillPhysRow(b, r, pat.Victim)
+				} else {
+					p.dev.FillPhysRow(b, r, pat.Neighbor)
+				}
 			}
 		}
 		// Reset every row's retention clock at the fill instant.
-		for r := 0; r < rows; r++ {
-			p.dev.RefreshPhysRow(p.bank, r, p.clock)
+		for _, b := range p.banks {
+			p.dev.RefreshBankAll(b, p.clock)
 		}
 		// Pause refresh for the test interval, then refresh, which
 		// applies and locks in any decay.
 		p.clock += interval
-		for r := 0; r < rows; r++ {
-			p.dev.RefreshPhysRow(p.bank, r, p.clock)
+		for _, b := range p.banks {
+			p.dev.RefreshBankAll(b, p.clock)
 		}
 		// Read back victims and record deviations.
-		for r := parity; r < rows; r += 2 {
-			words := p.dev.PhysRowWords(p.bank, r)
-			for w := 0; w < cols; w++ {
-				diff := words[w] ^ pat.Victim
-				for bit := 0; bit < 64 && diff != 0; bit++ {
-					if (diff>>uint(bit))&1 == 1 {
-						found[CellKey{p.bank, r, w*64 + bit}] = true
-						diff &^= 1 << uint(bit)
+		for _, b := range p.banks {
+			for r := parity; r < rows; r += 2 {
+				words := p.dev.PhysRowWords(b, r)
+				for w := 0; w < cols; w++ {
+					diff := words[w] ^ pat.Victim
+					for bit := 0; bit < 64 && diff != 0; bit++ {
+						if (diff>>uint(bit))&1 == 1 {
+							found[CellKey{b, r, w*64 + bit}] = true
+							diff &^= 1 << uint(bit)
+						}
 					}
 				}
 			}
@@ -121,4 +158,63 @@ func (p *Profiler) Campaign(patterns []Pattern, interval dram.Time, rounds int) 
 		}
 	}
 	return found
+}
+
+// CampaignSystem runs the battery over every bank of every device of a
+// memory system, sharding the independent channels across up to
+// workers goroutines (workers <= 1 profiles serially in channel
+// order). Each channel's ranks are profiled in rank order by a
+// device-wide Profiler starting at time start. Because channels share
+// no mutable state — each rank's retention model draws from its own
+// stream — sharded execution is bit-identical to serial execution for
+// every worker count.
+func CampaignSystem(ms *memctrl.MemorySystem, patterns []Pattern, interval dram.Time, rounds int, start dram.Time, workers int) map[SystemKey]bool {
+	t := ms.Topology()
+	perChan := make([]map[SystemKey]bool, t.Channels)
+	ms.ShardChannels(workers, func(ch int, c *memctrl.Controller) {
+		found := map[SystemKey]bool{}
+		for rk := 0; rk < t.Ranks; rk++ {
+			prof := NewDevice(c.Rank(rk), start)
+			for k := range prof.Campaign(patterns, interval, rounds) {
+				found[SystemKey{Channel: ch, Rank: rk, Cell: k}] = true
+			}
+		}
+		perChan[ch] = found
+	})
+	// Merge per-channel sets in channel order, off the worker pool, so
+	// the result is identical for every worker count.
+	merged := map[SystemKey]bool{}
+	for _, found := range perChan {
+		for k := range found {
+			merged[k] = true
+		}
+	}
+	return merged
+}
+
+// SortedKeys returns a system-wide found set as a deterministic,
+// lexicographically ordered slice — the stable form result tables and
+// hashes consume.
+func SortedKeys(found map[SystemKey]bool) []SystemKey {
+	out := make([]SystemKey, 0, len(found))
+	for k := range found {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Cell.Bank != b.Cell.Bank {
+			return a.Cell.Bank < b.Cell.Bank
+		}
+		if a.Cell.PhysRow != b.Cell.PhysRow {
+			return a.Cell.PhysRow < b.Cell.PhysRow
+		}
+		return a.Cell.Bit < b.Cell.Bit
+	})
+	return out
 }

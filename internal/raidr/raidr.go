@@ -15,6 +15,8 @@
 package raidr
 
 import (
+	"fmt"
+
 	"repro/internal/dram"
 )
 
@@ -26,6 +28,14 @@ type Bin struct {
 }
 
 // Plan assigns every row of a bank to a bin.
+//
+// Invariants (checked by Validate, enforced by NewPlan, NewEngine and
+// the controller-integrated memctrl.MultiRateRefresh): bin 0 has
+// Multiple 1 — it is the safety bin for known-weak rows, and a plan
+// whose safety bin is slower than nominal silently under-refreshes
+// every row binned there; every Multiple is at least 1 (a zero or
+// negative multiple has no schedule meaning and divides by zero in the
+// savings accounting); and every BinOf entry indexes an existing bin.
 type Plan struct {
 	// BinOf maps physical row -> bin index.
 	BinOf []int
@@ -34,9 +44,38 @@ type Plan struct {
 	Bins []Bin
 }
 
+// Validate checks the documented plan invariants.
+func (p *Plan) Validate() error {
+	if len(p.Bins) == 0 {
+		return fmt.Errorf("raidr: plan has no bins")
+	}
+	if p.Bins[0].Multiple != 1 {
+		return fmt.Errorf("raidr: bin 0 has multiple %d, want 1 (the safety bin refreshes at the nominal rate)", p.Bins[0].Multiple)
+	}
+	for i, b := range p.Bins {
+		if b.Multiple < 1 {
+			return fmt.Errorf("raidr: bin %d has multiple %d, want >= 1", i, b.Multiple)
+		}
+	}
+	for r, b := range p.BinOf {
+		if b < 0 || b >= len(p.Bins) {
+			return fmt.Errorf("raidr: row %d assigned to bin %d of %d", r, b, len(p.Bins))
+		}
+	}
+	return nil
+}
+
 // NewPlan builds a plan that places the given weak rows in bin 0
-// (nominal rate) and everything else in a single slow bin.
+// (nominal rate) and everything else in a single slow bin. It panics
+// on a non-positive row count or a slow multiple below 1, which cannot
+// form a valid plan.
 func NewPlan(rows int, weakRows map[int]bool, slowMultiple int) *Plan {
+	if rows <= 0 {
+		panic(fmt.Sprintf("raidr: NewPlan with %d rows", rows))
+	}
+	if slowMultiple < 1 {
+		panic(fmt.Sprintf("raidr: NewPlan slow multiple %d, want >= 1", slowMultiple))
+	}
 	p := &Plan{
 		BinOf: make([]int, rows),
 		Bins:  []Bin{{Multiple: 1}, {Multiple: slowMultiple}},
@@ -74,9 +113,12 @@ func (p *Plan) HammerExposureMultiplier(physRow int) int {
 	return p.Bins[p.BinOf[physRow]].Multiple
 }
 
-// Engine drives a device's refresh according to a plan. It replaces
-// the controller's uniform auto-refresh for retention experiments
-// that need per-row schedules.
+// Engine drives one bank's refresh according to a plan, standalone and
+// without a memory controller — the seed-era harness kept for the
+// single-bank retention experiments whose published tables it pins
+// (E25). System-level studies attach memctrl.MultiRateRefresh instead,
+// which drives the same Plan through the real controller's refresh
+// engine across every rank and channel.
 type Engine struct {
 	dev    *dram.Device
 	bank   int
@@ -88,8 +130,15 @@ type Engine struct {
 	Ops int64
 }
 
-// NewEngine creates an engine over one bank.
+// NewEngine creates an engine over one bank. It panics when the plan
+// violates its invariants or does not cover the bank's rows.
 func NewEngine(dev *dram.Device, bank int, plan *Plan, window dram.Time) *Engine {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	if len(plan.BinOf) != dev.Geom.Rows {
+		panic(fmt.Sprintf("raidr: plan covers %d rows, bank has %d", len(plan.BinOf), dev.Geom.Rows))
+	}
 	return &Engine{dev: dev, bank: bank, plan: plan, window: window}
 }
 

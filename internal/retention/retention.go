@@ -1,8 +1,9 @@
 // Package retention implements the DRAM data-retention fault model:
 // each cell's charge leaks over time and decays to the cell's
-// discharged value if the cell is not refreshed within its individual
-// retention time. The model reproduces the three phenomena the paper
-// identifies as the reason retention testing is fundamentally hard:
+// discharged value if the cell is not refreshed within the cell's
+// individual retention time. The model reproduces the three phenomena
+// the paper identifies as the reason retention testing is
+// fundamentally hard:
 //
 //   - A heavy-tailed distribution of per-cell retention times, with a
 //     small weak tail near the refresh window.
@@ -19,6 +20,17 @@
 // weak cells expired during the elapsed interval and discharges them;
 // the restore then locks in the wrong value, exactly as a real sense
 // amplifier would.
+//
+// The hot path is the same shape as the disturbance model's: the
+// per-(bank,row) weak-cell index is a dense flat slice keyed by
+// bank*Rows+physRow, so a restore of a row holding no weak cells — the
+// overwhelmingly common case — costs one slice load instead of a map
+// probe. The model also implements dram.BankRefreshFaultModel, letting
+// the device apply a whole-bank refresh storm (profiling passes,
+// multi-rate refresh sweeps) in one call that visits only weak rows;
+// batched application is bit-identical to the per-row path. The seed's
+// map-indexed implementation is retained in reference.go as the
+// equivalence oracle.
 package retention
 
 import (
@@ -82,6 +94,12 @@ func DefaultParams() Params {
 	}
 }
 
+// tempScale returns the retention-time multiplier of the configured
+// temperature: halve per 10 degrees above 45 C.
+func (p Params) tempScale() float64 {
+	return math.Pow(2, -(p.TemperatureC-45)/10)
+}
+
 type weakCell struct {
 	bank, physRow, bit int
 	baseSec            float64
@@ -92,48 +110,40 @@ type weakCell struct {
 	vrtNext            dram.Time // next state toggle
 }
 
-// Model is a dram.FaultModel implementing retention decay.
-type Model struct {
-	params    Params
-	geom      dram.Geometry
-	byRow     map[[2]int][]*weakCell
-	cells     []*weakCell
-	src       *rng.Stream
-	decays    int64
-	tempScale float64
-}
-
-var (
-	_ dram.FaultModel       = (*Model)(nil)
-	_ dram.HammerFaultModel = (*Model)(nil)
-)
-
-// NewModel samples the weak-cell population for the given geometry.
-func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
-	m := &Model{
-		params:    p,
-		geom:      geom,
-		byRow:     map[[2]int][]*weakCell{},
-		src:       src,
-		tempScale: math.Pow(2, -(p.TemperatureC-45)/10),
-	}
+// samplePopulation draws the weak-cell population for a device of the
+// given geometry and hands each cell to add. The draw sequence is
+// deterministic given the stream and shared between Model and
+// Reference so both see the identical population.
+//
+// A position collision (two draws landing on one (bank,row,bit))
+// resamples the location until it is free, keeping the already sampled
+// physics: a cell has one set of physics, and silently dropping the
+// colliding draw — the seed behaviour — undercounted the weak-cell
+// population below the Binomial draw n. No-collision draws consume the
+// exact legacy stream, so populations are unchanged wherever
+// collisions cannot occur.
+func samplePopulation(geom dram.Geometry, p Params, src *rng.Stream, add func(*weakCell)) {
 	if p.WeakFraction <= 0 {
-		return m
+		return
 	}
 	n := src.Binomial(geom.TotalCells(), p.WeakFraction)
+	bitsPerRow := geom.BitsPerRow()
 	seen := make(map[[3]int]bool, n)
 	for i := int64(0); i < n; i++ {
 		wc := &weakCell{
 			bank:    src.Intn(geom.Banks),
 			physRow: src.Intn(geom.Rows),
-			bit:     src.Intn(geom.BitsPerRow()),
+			bit:     src.Intn(bitsPerRow),
 			baseSec: math.Max(p.MinSec, src.LogNormal(math.Log(p.MedianSec), p.Sigma)),
 			dpd:     src.Bool(p.DPDFraction),
 			vrt:     src.Bool(p.VRTFraction),
 		}
 		pos := [3]int{wc.bank, wc.physRow, wc.bit}
-		if seen[pos] {
-			continue // a cell has one set of physics; drop duplicates
+		for seen[pos] {
+			wc.bank = src.Intn(geom.Banks)
+			wc.physRow = src.Intn(geom.Rows)
+			wc.bit = src.Intn(bitsPerRow)
+			pos = [3]int{wc.bank, wc.physRow, wc.bit}
 		}
 		seen[pos] = true
 		if src.Bool(0.5) {
@@ -147,12 +157,47 @@ func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
 				long = p.VRTDwellSec
 			}
 			wc.vrtLong = src.Bool(long / (long + p.VRTDwellSec))
-			wc.vrtNext = secToTime(src.Exponential(m.dwellFor(wc.vrtLong)))
+			wc.vrtNext = secToTime(src.Exponential(dwellFor(p, wc.vrtLong)))
 		}
-		m.cells = append(m.cells, wc)
-		k := [2]int{wc.bank, wc.physRow}
-		m.byRow[k] = append(m.byRow[k], wc)
+		add(wc)
 	}
+}
+
+// Model is a dram.FaultModel implementing retention decay.
+type Model struct {
+	params Params
+	geom   dram.Geometry
+	// byRow is a dense flat index keyed by bank*geom.Rows+physRow,
+	// listing the weak cells residing in a row. It replaces the seed's
+	// map[[2]int] index, turning the per-restore lookup into a single
+	// slice load.
+	byRow     [][]*weakCell
+	cells     []*weakCell
+	src       *rng.Stream
+	decays    int64
+	tempScale float64
+}
+
+var (
+	_ dram.FaultModel            = (*Model)(nil)
+	_ dram.HammerFaultModel      = (*Model)(nil)
+	_ dram.BankRefreshFaultModel = (*Model)(nil)
+)
+
+// NewModel samples the weak-cell population for the given geometry.
+func NewModel(geom dram.Geometry, p Params, src *rng.Stream) *Model {
+	m := &Model{
+		params:    p,
+		geom:      geom,
+		byRow:     make([][]*weakCell, geom.Banks*geom.Rows),
+		src:       src,
+		tempScale: p.tempScale(),
+	}
+	samplePopulation(geom, p, src, func(wc *weakCell) {
+		m.cells = append(m.cells, wc)
+		idx := wc.bank*geom.Rows + wc.physRow
+		m.byRow[idx] = append(m.byRow[idx], wc)
+	})
 	return m
 }
 
@@ -189,7 +234,7 @@ func (m *Model) OnRefresh(d *dram.Device, bank, physRow int, now dram.Time) {
 
 // BatchableRow implements dram.HammerFaultModel.
 func (m *Model) BatchableRow(bank, physRow int) bool {
-	return len(m.byRow[[2]int{bank, physRow}]) == 0
+	return len(m.byRow[bank*m.geom.Rows+physRow]) == 0
 }
 
 // OnActivateBatch implements dram.HammerFaultModel. Only invoked for
@@ -207,11 +252,38 @@ func (m *Model) BatchablePair(bank, rowA, rowB int) bool {
 func (m *Model) OnHammerPairBatch(d *dram.Device, bank, rowA, rowB, n int, start, period dram.Time) {
 }
 
+// --- Batched refresh dispatch (dram.BankRefreshFaultModel) ---
+
+// BatchableBankRefresh implements dram.BankRefreshFaultModel. The
+// batched sweep visits rows in the same ascending order with the same
+// VRT draw sequence as the per-row loop, and no other model's
+// OnRefresh mutates the cell bits decay reads, so sweeps always batch.
+func (m *Model) BatchableBankRefresh(bank int) bool { return true }
+
+// OnRefreshBankBatch implements dram.BankRefreshFaultModel: identical
+// to refreshing rows 0..Rows-1 in order, in O(weak rows) instead of
+// Rows dispatches — the hot path of profiling passes and refresh
+// storms, where almost every row holds no weak cell.
+func (m *Model) OnRefreshBankBatch(d *dram.Device, bank int, now dram.Time) {
+	base := bank * m.geom.Rows
+	for r := 0; r < m.geom.Rows; r++ {
+		if cells := m.byRow[base+r]; len(cells) > 0 {
+			m.decayRow(d, bank, r, cells, now)
+		}
+	}
+}
+
 func (m *Model) applyDecay(d *dram.Device, bank, physRow int, now dram.Time) {
-	cells := m.byRow[[2]int{bank, physRow}]
+	cells := m.byRow[bank*m.geom.Rows+physRow]
 	if len(cells) == 0 {
 		return
 	}
+	m.decayRow(d, bank, physRow, cells, now)
+}
+
+// decayRow applies pending decay to one row's weak cells. The caller
+// guarantees cells is the row's (non-empty) index slice.
+func (m *Model) decayRow(d *dram.Device, bank, physRow int, cells []*weakCell, now dram.Time) {
 	last := d.LastRestore(bank, physRow)
 	if now <= last {
 		return
@@ -236,11 +308,11 @@ func (m *Model) applyDecay(d *dram.Device, bank, physRow int, now dram.Time) {
 }
 
 // dwellFor returns the mean dwell of the given VRT state.
-func (m *Model) dwellFor(long bool) float64 {
-	if long && m.params.VRTLongDwellSec > 0 {
-		return m.params.VRTLongDwellSec
+func dwellFor(p Params, long bool) float64 {
+	if long && p.VRTLongDwellSec > 0 {
+		return p.VRTLongDwellSec
 	}
-	return m.params.VRTDwellSec
+	return p.VRTDwellSec
 }
 
 // advanceVRT lazily evolves the two-state VRT process up to time now.
@@ -249,7 +321,7 @@ func (m *Model) dwellFor(long bool) float64 {
 func (m *Model) advanceVRT(wc *weakCell, now dram.Time) {
 	for wc.vrtNext < now {
 		wc.vrtLong = !wc.vrtLong
-		wc.vrtNext += secToTime(m.src.Exponential(m.dwellFor(wc.vrtLong)))
+		wc.vrtNext += secToTime(m.src.Exponential(dwellFor(m.params, wc.vrtLong)))
 	}
 }
 
@@ -300,19 +372,50 @@ func (m *Model) Cells() []CellInfo {
 	return out
 }
 
+// WeakRows returns, per bank, the sorted physical rows holding at
+// least one weak cell — the oracle binning input of multi-rate refresh
+// experiments.
+func (m *Model) WeakRows(bank int) []int {
+	base := bank * m.geom.Rows
+	var out []int
+	for r := 0; r < m.geom.Rows; r++ {
+		if len(m.byRow[base+r]) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // FractionFailingAt returns the expected fraction of all cells that
 // decay within a refresh interval of t seconds under worst-case data
 // pattern, the analytic form used by fleet-scale experiments.
+//
+// It applies the same two transformations the simulation applies to
+// every sampled retention time — the temperature scale (halve per 10 C
+// above 45 C) and the MinSec screening floor — so the analytic fleet
+// prediction agrees with Monte Carlo at every temperature and near the
+// floor (TestFractionFailingAtMatchesSimulation pins the agreement at
+// 30/45/60 C).
 func (p Params) FractionFailingAt(tSec float64) float64 {
 	if p.WeakFraction <= 0 || tSec <= 0 {
 		return 0
 	}
+	scale := p.tempScale()
+	mu := math.Log(p.MedianSec)
+	// A cell of sampled base retention X fails the interval iff
+	// max(MinSec, X) * tempScale * reduction < t; the floor collapses
+	// the distribution's lower tail onto an atom at MinSec, which
+	// fails only once the cutoff clears the floor.
+	cdfAt := func(reduction float64) float64 {
+		y := tSec / (scale * reduction)
+		if y <= p.MinSec {
+			return 0
+		}
+		return logNormalCDF(y, mu, p.Sigma)
+	}
 	// Worst-case pattern engages DPD for DPD cells, shortening their
 	// effective retention by DPDReduction; mix the two CDFs.
-	mu := math.Log(p.MedianSec)
-	plain := logNormalCDF(tSec, mu, p.Sigma)
-	dpd := logNormalCDF(tSec/p.DPDReduction, mu, p.Sigma)
-	frac := (1-p.DPDFraction)*plain + p.DPDFraction*dpd
+	frac := (1-p.DPDFraction)*cdfAt(1) + p.DPDFraction*cdfAt(p.DPDReduction)
 	return p.WeakFraction * frac
 }
 

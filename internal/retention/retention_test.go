@@ -1,6 +1,7 @@
 package retention
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/dram"
@@ -235,6 +236,196 @@ func TestTemperatureScaling(t *testing.T) {
 	d.RefreshPhysRow(0, c.PhysRow, interval)
 	if d.PhysBit(c.Bank, c.PhysRow, c.Bit) == c.ChargedVal {
 		t.Fatal("hot cell did not decay at interval above scaled retention")
+	}
+}
+
+// mcFailingFraction measures, by Monte Carlo, the fraction of weak
+// cells decaying within tSec under the worst-case data pattern
+// (adversarial neighbours for DPD cells), the quantity
+// FractionFailingAt predicts analytically per total cell.
+func mcFailingFraction(t *testing.T, p Params, seed uint64, tSec float64) float64 {
+	t.Helper()
+	g := dram.Geometry{Banks: 2, Rows: 256, Cols: 16}
+	d := dram.NewDevice(g)
+	m := NewModel(g, p, rng.New(seed))
+	d.AttachFault(m)
+	cells := m.Cells()
+	if len(cells) == 0 {
+		t.Fatal("no weak cells")
+	}
+	// Adversarial neighbours first, charged values second, so a weak
+	// cell that happens to be another cell's neighbour keeps its own
+	// charged value.
+	for _, c := range cells {
+		for _, nr := range []int{c.PhysRow - 1, c.PhysRow + 1} {
+			if nr >= 0 && nr < g.Rows {
+				d.SetPhysBit(c.Bank, nr, c.Bit, 1-c.ChargedVal)
+			}
+		}
+	}
+	for _, c := range cells {
+		d.SetPhysBit(c.Bank, c.PhysRow, c.Bit, c.ChargedVal)
+	}
+	now := dram.Time(tSec * float64(dram.Second))
+	for b := 0; b < g.Banks; b++ {
+		for r := 0; r < g.Rows; r++ {
+			d.RefreshPhysRow(b, r, now)
+		}
+	}
+	decayed := 0
+	for _, c := range cells {
+		if d.PhysBit(c.Bank, c.PhysRow, c.Bit) != c.ChargedVal {
+			decayed++
+		}
+	}
+	return float64(decayed) / float64(len(cells))
+}
+
+// TestFractionFailingAtMatchesSimulation pins the analytic fleet
+// prediction against Monte Carlo at 30/45/60 C and at an interval near
+// the MinSec screening floor: the formula must fold in both the
+// temperature scale and the floor, exactly as the simulation does.
+func TestFractionFailingAtMatchesSimulation(t *testing.T) {
+	p := Params{
+		WeakFraction: 0.02,
+		MedianSec:    0.6,
+		Sigma:        0.8,
+		MinSec:       0.15,
+		DPDFraction:  0.4,
+		DPDReduction: 0.5,
+	}
+	for _, tempC := range []float64{30, 45, 60} {
+		pp := p
+		pp.TemperatureC = tempC
+		for _, tSec := range []float64{0.2, 0.5, 2.0} {
+			analytic := pp.FractionFailingAt(tSec) / pp.WeakFraction
+			mc := mcFailingFraction(t, pp, 0x517+uint64(tempC), tSec)
+			if diff := math.Abs(analytic - mc); diff > 0.03 {
+				t.Errorf("T=%v t=%vs: analytic %.4f vs Monte Carlo %.4f (diff %.4f)",
+					tempC, tSec, analytic, mc, diff)
+			}
+		}
+	}
+	// The floor itself: with DPD disabled, below MinSec at nominal
+	// temperature nothing can fail, however weak the lognormal tail
+	// (DPD cells can still fail there, at floor × DPDReduction).
+	pp := p
+	pp.TemperatureC = 45
+	pp.DPDFraction = 0
+	if f := pp.FractionFailingAt(0.1); f != 0 {
+		t.Errorf("interval below MinSec floor predicts failures: %v", f)
+	}
+	if mc := mcFailingFraction(t, pp, 0x518, 0.1); mc != 0 {
+		t.Errorf("simulation decayed cells below the MinSec floor: %v", mc)
+	}
+}
+
+// legacyCells replicates the seed sampler's draw loop — including its
+// drop-on-collision bug — so the no-collision stream compatibility of
+// the fixed sampler is pinned, not assumed.
+func legacyCells(g dram.Geometry, p Params, seed uint64) []CellInfo {
+	src := rng.New(seed)
+	var out []CellInfo
+	if p.WeakFraction <= 0 {
+		return out
+	}
+	n := src.Binomial(g.TotalCells(), p.WeakFraction)
+	seen := map[[3]int]bool{}
+	for i := int64(0); i < n; i++ {
+		c := CellInfo{
+			Bank:    src.Intn(g.Banks),
+			PhysRow: src.Intn(g.Rows),
+			Bit:     src.Intn(g.BitsPerRow()),
+			BaseSec: math.Max(p.MinSec, src.LogNormal(math.Log(p.MedianSec), p.Sigma)),
+			DPD:     src.Bool(p.DPDFraction),
+			VRT:     src.Bool(p.VRTFraction),
+		}
+		pos := [3]int{c.Bank, c.PhysRow, c.Bit}
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		if src.Bool(0.5) {
+			c.ChargedVal = 1
+		}
+		if c.VRT {
+			long := p.VRTLongDwellSec
+			if long <= 0 {
+				long = p.VRTDwellSec
+			}
+			vrtLong := src.Bool(long / (long + p.VRTDwellSec))
+			src.Exponential(dwellFor(p, vrtLong))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestLegacyStreamUnchangedWithoutCollisions verifies the fixed
+// sampler draws byte-identical populations to the seed sampler at
+// seeds 1 and 5 whenever no collision occurs — the condition under
+// which every legacy experiment table must stay bit-identical.
+func TestLegacyStreamUnchangedWithoutCollisions(t *testing.T) {
+	g := dram.Geometry{Banks: 2, Rows: 512, Cols: 16}
+	for _, seed := range []uint64{1, 5} {
+		legacy := legacyCells(g, DefaultParams(), seed)
+		got := NewModel(g, DefaultParams(), rng.New(seed)).Cells()
+		if len(legacy) != len(got) {
+			t.Fatalf("seed %d: collision occurred at seed WeakFraction (legacy %d vs %d cells); pick another geometry",
+				seed, len(legacy), len(got))
+		}
+		for i := range got {
+			if got[i] != legacy[i] {
+				t.Fatalf("seed %d cell %d: %+v != legacy %+v", seed, i, got[i], legacy[i])
+			}
+		}
+	}
+}
+
+// TestCollisionResampled pins the duplicate-handling fix: a dense
+// population where collisions are certain must still produce exactly
+// the Binomial draw's worth of distinct weak cells, where the seed
+// sampler silently undercounted.
+func TestCollisionResampled(t *testing.T) {
+	g := dram.Geometry{Banks: 1, Rows: 4, Cols: 1}
+	p := denseParams()
+	p.WeakFraction = 0.5
+	seed := uint64(42)
+	n := rng.New(seed).Binomial(g.TotalCells(), p.WeakFraction)
+	m := NewModel(g, p, rng.New(seed))
+	if int64(m.WeakCellCount()) != n {
+		t.Fatalf("population %d cells, Binomial draw was %d", m.WeakCellCount(), n)
+	}
+	seen := map[[3]int]bool{}
+	for _, c := range m.Cells() {
+		pos := [3]int{c.Bank, c.PhysRow, c.Bit}
+		if seen[pos] {
+			t.Fatalf("duplicate cell at %v", pos)
+		}
+		seen[pos] = true
+	}
+	if legacy := legacyCells(g, p, seed); int64(len(legacy)) >= n {
+		t.Fatalf("test is vacuous: the legacy sampler hit no collision (%d of %d)", len(legacy), n)
+	}
+}
+
+func TestWeakRows(t *testing.T) {
+	_, m := newSetup(denseParams(), 11)
+	rows := map[int]bool{}
+	for _, c := range m.Cells() {
+		rows[c.PhysRow] = true
+	}
+	got := m.WeakRows(0)
+	if len(got) != len(rows) {
+		t.Fatalf("WeakRows returned %d rows, want %d", len(got), len(rows))
+	}
+	for i, r := range got {
+		if !rows[r] {
+			t.Fatalf("row %d not weak", r)
+		}
+		if i > 0 && got[i-1] >= r {
+			t.Fatal("WeakRows not sorted")
+		}
 	}
 }
 
