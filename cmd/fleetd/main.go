@@ -1,0 +1,91 @@
+// Command fleetd is the crash-resilient campaign service: an
+// HTTP/JSON daemon that runs simulation campaigns (fieldstudy fleets,
+// experiment suites) concurrently, checkpointing each to its state
+// directory so a crashed or drained campaign resumes bit-identically.
+//
+// Usage:
+//
+//	fleetd [-addr localhost:8077] [-dir STATE_DIR] [-drain-timeout 30s]
+//
+// API (see internal/campaign for the spec schema):
+//
+//	POST   /campaigns             submit {"kind":"fieldstudy","seed":1,...}
+//	GET    /campaigns             list campaigns
+//	GET    /campaigns/{id}        status
+//	GET    /campaigns/{id}/events incremental NDJSON event stream
+//	GET    /campaigns/{id}/result terminal result
+//	DELETE /campaigns/{id}        cancel (checkpoint retained)
+//
+// On SIGTERM or SIGINT the daemon stops accepting campaigns, lets
+// every in-flight campaign finish or checkpoint (bounded by
+// -drain-timeout), and exits; restarting it over the same -dir lets
+// clients resume interrupted campaigns by resubmitting with the same
+// checkpoint name.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("internal panic: %v", p)
+		}
+	}()
+	addr := flag.String("addr", "localhost:8077", "listen address")
+	dir := flag.String("dir", ".", "state directory for campaign checkpoints")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long a signal-triggered drain waits for campaigns to finish or checkpoint")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	svc := campaign.NewService(*dir)
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fleetd: serving on %s, state in %s\n", *addr, *dir)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "fleetd: signal received; draining campaigns")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if derr := svc.Drain(dctx); derr != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: drain incomplete after %v: %v\n", *drainTimeout, derr)
+	} else {
+		fmt.Fprintln(os.Stderr, "fleetd: all campaigns finished or checkpointed")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if serr := srv.Shutdown(sctx); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	return nil
+}

@@ -45,6 +45,23 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rowhammer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	// Everything below core.Build validates its inputs by panicking
+	// (simulator-internal contract violations). Flag-derived values are
+	// validated up front so a bad invocation gets a one-line message;
+	// this net converts anything that still slips through into the same
+	// instead of a stack trace.
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("internal panic: %v", p)
+		}
+	}()
 	year := flag.Int("year", 2013, "module class year (2008-2014)")
 	pairs := flag.Int("pairs", 30000, "hammer pairs (or N-sided rounds) per victim")
 	mode := flag.String("mode", "double", "hammer mode: double, single, many, nsided, adaptive")
@@ -67,19 +84,22 @@ func main() {
 	})
 	if *mitigate != "" {
 		if mitigationSet && *mitigate != *mitigation {
-			fmt.Fprintf(os.Stderr, "-mitigate %q conflicts with -mitigation %q; drop the deprecated alias\n",
+			return fmt.Errorf("-mitigate %q conflicts with -mitigation %q; drop the deprecated alias",
 				*mitigate, *mitigation)
-			os.Exit(1)
 		}
 		*mitigation = *mitigate
 	}
 	if (*mode == "nsided" || *mode == "adaptive") && *sides < 2 {
-		fmt.Fprintf(os.Stderr, "-sides %d: an N-sided pattern needs at least 2 aggressors\n", *sides)
-		os.Exit(1)
+		return fmt.Errorf("-sides %d: an N-sided pattern needs at least 2 aggressors", *sides)
 	}
 	if *decoys < 0 {
-		fmt.Fprintf(os.Stderr, "-decoys %d must be non-negative\n", *decoys)
-		os.Exit(1)
+		return fmt.Errorf("-decoys %d must be non-negative", *decoys)
+	}
+	if *pairs < 1 {
+		return fmt.Errorf("-pairs %d must be positive", *pairs)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be non-negative", *shards)
 	}
 
 	pop := modules.Population(*seed)
@@ -91,8 +111,7 @@ func main() {
 		}
 	}
 	if mod == nil {
-		fmt.Fprintf(os.Stderr, "no module of year %d\n", *year)
-		os.Exit(1)
+		return fmt.Errorf("no module of year %d", *year)
 	}
 	// Scale thresholds so a CLI run finishes in seconds; the
 	// full-scale numbers come from the analytic model (see E3/E4).
@@ -101,6 +120,14 @@ func main() {
 		Channels: *channels,
 		Ranks:    *ranks,
 		Geom:     dram.Geometry{Banks: 1, Rows: 1024, Cols: 8},
+	}
+	// Validate the flag-derived topology and mapping before core.Build,
+	// which (by simulator-internal contract) panics on bad input.
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("bad topology (-channels %d -ranks %d): %w", *channels, *ranks, err)
+	}
+	if _, err := memctrl.PolicyByName(*mapping, topo); err != nil {
+		return fmt.Errorf("-mapping %q: %w", *mapping, err)
 	}
 	cfg := core.Options{Topology: topo, Mapping: *mapping}
 	if *mitigation == "refresh7" {
@@ -156,8 +183,7 @@ func main() {
 			return memctrl.NewMultiRate(raidr.NewPlan(g.Rows, nil, mult))
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mitigation %q\n", *mitigation)
-		os.Exit(1)
+		return fmt.Errorf("unknown mitigation %q", *mitigation)
 	}
 
 	weak := 0
@@ -225,11 +251,11 @@ func main() {
 		fmt.Printf("adaptive attacker chose %d sides\n", best)
 		attack.CrossBankNSided(s.Mem, nsidedBases(topo, best, *decoys), best, *decoys, *pairs, *shards)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(1)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
 	reportResults(s)
+	return nil
 }
 
 // nsidedBases anchors one N-sided region per hammered stretch of every

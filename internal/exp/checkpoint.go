@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+)
+
+const (
+	runSnapshotKind    = "repro/expruns"
+	runSnapshotVersion = 1
+)
+
+// savedResult is one completed experiment in a run checkpoint. Tables
+// hold pre-formatted string cells, so the JSON round trip restores
+// them byte-identically (pinned by tests on the rendered form that
+// table hashes are computed over).
+type savedResult struct {
+	ID         string       `json:"id"`
+	Num        int          `json:"num"`
+	Title      string       `json:"title"`
+	Anchor     string       `json:"anchor"`
+	WallNS     int64        `json:"wall_ns"`
+	Allocs     uint64       `json:"allocs"`
+	AllocBytes uint64       `json:"alloc_bytes"`
+	Err        string       `json:"err,omitempty"`
+	Table      *stats.Table `json:"table,omitempty"`
+}
+
+type runCheckpoint struct {
+	Seed    uint64        `json:"seed"`
+	Results []savedResult `json:"results"`
+}
+
+func saveRunCheckpoint(path string, seed uint64, done map[string]RunResult) error {
+	ck := runCheckpoint{Seed: seed}
+	for _, res := range done {
+		sr := savedResult{
+			ID: res.ID, Num: res.Num, Title: res.Title, Anchor: res.Anchor,
+			WallNS: int64(res.Wall), Allocs: res.Allocs, AllocBytes: res.AllocBytes,
+			Table: res.Table,
+		}
+		if res.Err != nil {
+			sr.Err = res.Err.Error()
+		}
+		ck.Results = append(ck.Results, sr)
+	}
+	sort.Slice(ck.Results, func(i, j int) bool { return ck.Results[i].Num < ck.Results[j].Num })
+	return snapshot.WriteFile(path, runSnapshotKind, runSnapshotVersion, func(w *snapshot.Writer) error {
+		w.Tag("exp.Runner")
+		data, err := json.Marshal(ck)
+		if err != nil {
+			return err
+		}
+		w.Bytes8(data)
+		return nil
+	})
+}
+
+func loadRunCheckpoint(path string, seed uint64) (map[string]RunResult, error) {
+	done := make(map[string]RunResult)
+	err := snapshot.ReadFile(path, runSnapshotKind, runSnapshotVersion,
+		func(r *snapshot.Reader, version uint32) error {
+			r.Tag("exp.Runner")
+			data := r.Bytes8()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			var ck runCheckpoint
+			if err := json.Unmarshal(data, &ck); err != nil {
+				return snapshot.Corruptf("checkpoint JSON: %v", err)
+			}
+			if ck.Seed != seed {
+				return snapshot.Mismatchf("checkpoint is for seed %d, runner uses seed %d", ck.Seed, seed)
+			}
+			for _, sr := range ck.Results {
+				res := RunResult{
+					ID: sr.ID, Num: sr.Num, Title: sr.Title, Anchor: sr.Anchor,
+					Wall: time.Duration(sr.WallNS), Allocs: sr.Allocs, AllocBytes: sr.AllocBytes,
+					Table: sr.Table,
+				}
+				if sr.Err != "" {
+					res.Err = errors.New(sr.Err)
+				}
+				done[sr.ID] = res
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return done, nil
+}
+
+// RunCheckpointed is Run with crash safety: when the Runner has a
+// CheckpointPath, every completed experiment (including failed ones)
+// is persisted there atomically, and a subsequent call with the same
+// seed and path skips completed experiments, restoring their results
+// — tables byte-identical — instead of recomputing them. Experiments
+// are pure functions of the seed, so the combined output is identical
+// to an uninterrupted Run.
+//
+// A corrupt or truncated checkpoint is refused with an error wrapping
+// snapshot.ErrCorrupt; a checkpoint recorded under a different seed is
+// refused with snapshot.ErrMismatch. Nothing runs in either case.
+// With an empty CheckpointPath this is exactly Run.
+func (r *Runner) RunCheckpointed(exps []Experiment) ([]RunResult, error) {
+	return r.RunCheckpointedCtx(context.Background(), exps, nil)
+}
+
+// RunCheckpointedCtx is RunCheckpointed with cooperative cancellation
+// and progress reporting. Workers observe ctx between experiments: on
+// cancellation the completed experiments stay checkpointed and the
+// call returns ctx.Err(), so a drained campaign resumes later without
+// recomputing them. progress, if non-nil, is called (serialized) with
+// each result as it completes or is restored.
+func (r *Runner) RunCheckpointedCtx(ctx context.Context, exps []Experiment, progress func(RunResult)) ([]RunResult, error) {
+	if r.CheckpointPath == "" {
+		results := r.Run(exps)
+		if progress != nil {
+			for _, res := range results {
+				progress(res)
+			}
+		}
+		return results, nil
+	}
+	done := make(map[string]RunResult)
+	if _, err := os.Stat(r.CheckpointPath); err == nil {
+		var lerr error
+		done, lerr = loadRunCheckpoint(r.CheckpointPath, r.Seed)
+		if lerr != nil {
+			return nil, lerr
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	if r.ShardWorkers > 0 {
+		prev := shardWorkers.Swap(int64(r.ShardWorkers))
+		defer shardWorkers.Store(prev)
+	}
+	ordered := append([]Experiment(nil), exps...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Num < ordered[j].Num })
+	results := make([]RunResult, len(ordered))
+	var pending []int
+	for i, e := range ordered {
+		if res, ok := done[e.ID]; ok {
+			results[i] = res
+			if progress != nil {
+				progress(res)
+			}
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	workers := r.EffectiveWorkers()
+	if workers > len(pending) && len(pending) > 0 {
+		workers = len(pending)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				res := r.runOne(ordered[i])
+				mu.Lock()
+				results[i] = res
+				done[res.ID] = res
+				if err := saveRunCheckpoint(r.CheckpointPath, r.Seed, done); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if progress != nil {
+					progress(res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/stats"
 )
 
@@ -56,6 +57,10 @@ type Runner struct {
 	// Results are bit-identical for every value (sharded channels
 	// share no state; see memctrl.MemorySystem.ShardChannels).
 	ShardWorkers int
+	// CheckpointPath, when set, makes RunCheckpointed persist every
+	// completed experiment there and resume past completed ones on a
+	// later run. Run ignores it.
+	CheckpointPath string
 }
 
 // shardWorkers is the fan-out published by the Runner currently
@@ -141,9 +146,20 @@ func (r *Runner) runOne(e Experiment) (res RunResult) {
 			res.Err = fmt.Errorf("experiment %s panicked: %v", e.ID, p)
 		}
 	}()
+	// Fault-injection hook for crash-safety tests: an armed Panic plan
+	// exercises the recover path above, an Error plan the failed-result
+	// path. Free when unarmed.
+	if err := faultinject.Fire(RunFirePoint); err != nil {
+		res.Err = err
+		return res
+	}
 	res.Table = e.Run(r.Seed)
 	return res
 }
+
+// RunFirePoint is the fault-injection point fired once per experiment
+// execution by runOne, before the experiment body runs.
+const RunFirePoint = "exp.runOne"
 
 // --- Machine-readable benchmark summary ---
 
@@ -202,6 +218,20 @@ func NewSummary(results []RunResult, seed uint64, workers int, totalWall time.Du
 		s.Experiments = append(s.Experiments, e)
 	}
 	return s
+}
+
+// Failed returns the IDs of experiments that produced no table — a
+// recovered panic or an injected failure — in summary order. Commands
+// use it to exit non-zero when a run partially failed instead of
+// silently reporting the experiments that happened to survive.
+func (s Summary) Failed() []string {
+	var out []string
+	for _, e := range s.Experiments {
+		if e.Err != "" {
+			out = append(out, e.ID)
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the summary as indented JSON.

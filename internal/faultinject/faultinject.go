@@ -1,0 +1,198 @@
+// Package faultinject is a deterministic fault-injection harness for
+// crash-safety testing. Production code marks interesting spots with
+// named points (Fire("campaign.shard.done")); tests arm plans against
+// those points to panic, fail, delay or kill the process on a chosen
+// hit. Nothing fires unless a test armed it, and the fast path when
+// the registry is empty is a single atomic load.
+//
+// Determinism is the whole point: a plan triggers on exact hit counts
+// (After/Times), never on timers or randomness, so a test that kills a
+// worker "mid-shard" kills it at the same shard every run.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed plan does when it triggers.
+type Kind int
+
+const (
+	// Panic makes Fire panic with a *Fault, simulating a crashed
+	// worker. Campaign workers must contain it with recover.
+	Panic Kind = iota
+	// Error makes Fire return an error, simulating a transient
+	// failure the caller should retry.
+	Error
+	// Delay makes Fire sleep for the plan's Delay, simulating a
+	// straggler shard.
+	Delay
+	// Kill terminates the process immediately with exit status 137
+	// (as if SIGKILLed), simulating a hard crash. Only reachable from
+	// helper subprocesses in tests.
+	Kill
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	case Kill:
+		return "kill"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is the panic value and error type produced by triggered plans,
+// so recovery paths can tell injected faults from real bugs.
+type Fault struct {
+	Point string
+	Kind  Kind
+	Hit   int64 // 1-based hit count that triggered
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("injected %s at %q (hit %d)", f.Kind, f.Point, f.Hit)
+}
+
+// Plan describes when and how a point fires.
+type Plan struct {
+	// After skips the first After hits; the plan first triggers on
+	// hit After+1.
+	After int64
+	// Times bounds how many hits trigger; 0 means every hit after
+	// After.
+	Times int64
+	// Kind selects the failure mode.
+	Kind Kind
+	// Delay is the sleep duration for Kind Delay.
+	Delay time.Duration
+	// Err overrides the returned error for Kind Error; nil means the
+	// *Fault itself.
+	Err error
+}
+
+type point struct {
+	plan Plan
+	hits int64
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]*point
+	// armed is nonzero while any point is armed, so Fire in the
+	// common (unarmed) case costs one atomic load and no lock.
+	armed atomic.Int32
+)
+
+// Arm registers (or replaces) a plan for a named point and resets its
+// hit count.
+func Arm(name string, p Plan) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	points[name] = &point{plan: p}
+	armed.Store(int32(len(points)))
+}
+
+// Disarm removes a single point.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	armed.Store(int32(len(points)))
+}
+
+// Reset disarms every point. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(0)
+}
+
+// Hits reports how many times a point has fired its Fire check (armed
+// hits only; unarmed points count nothing).
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if pt := points[name]; pt != nil {
+		return pt.hits
+	}
+	return 0
+}
+
+// Fire is the production-side hook. It returns nil (and does nothing)
+// unless a test armed the named point and this hit is within the
+// plan's trigger window; then it panics, errors, sleeps or kills per
+// the plan. The returned error wraps a *Fault.
+func Fire(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	pt := points[name]
+	if pt == nil {
+		mu.Unlock()
+		return nil
+	}
+	pt.hits++
+	hit := pt.hits
+	plan := pt.plan
+	mu.Unlock()
+
+	if hit <= plan.After {
+		return nil
+	}
+	if plan.Times > 0 && hit > plan.After+plan.Times {
+		return nil
+	}
+	f := &Fault{Point: name, Kind: plan.Kind, Hit: hit}
+	switch plan.Kind {
+	case Panic:
+		panic(f)
+	case Error:
+		if plan.Err != nil {
+			return fmt.Errorf("injected error at %q (hit %d): %w", name, hit, plan.Err)
+		}
+		return f
+	case Delay:
+		time.Sleep(plan.Delay)
+		return nil
+	case Kill:
+		os.Exit(137)
+	}
+	return nil
+}
+
+// FlipBit flips one bit of a file in place: the canonical checkpoint
+// corruption for refuse-to-load tests.
+func FlipBit(path string, byteOff int64, bit uint) error {
+	if bit > 7 {
+		return fmt.Errorf("faultinject: bit %d out of range", bit)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], byteOff); err != nil {
+		return fmt.Errorf("faultinject: read %s@%d: %w", path, byteOff, err)
+	}
+	b[0] ^= 1 << bit
+	if _, err := f.WriteAt(b[:], byteOff); err != nil {
+		return fmt.Errorf("faultinject: write %s@%d: %w", path, byteOff, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Fire("nobody.armed.this"); err != nil {
+			t.Fatalf("unarmed Fire returned %v", err)
+		}
+	}
+	if Hits("nobody.armed.this") != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+}
+
+func TestErrorTriggersOnExactHit(t *testing.T) {
+	defer Reset()
+	Arm("p", Plan{After: 2, Times: 1, Kind: Error})
+	var errs []int
+	for i := 1; i <= 5; i++ {
+		if err := Fire("p"); err != nil {
+			errs = append(errs, i)
+			var f *Fault
+			if !errors.As(err, &f) || f.Hit != 3 || f.Point != "p" {
+				t.Fatalf("hit %d: unexpected fault %v", i, err)
+			}
+		}
+	}
+	if len(errs) != 1 || errs[0] != 3 {
+		t.Fatalf("triggered on hits %v, want [3]", errs)
+	}
+	if Hits("p") != 5 {
+		t.Fatalf("Hits = %d, want 5", Hits("p"))
+	}
+}
+
+func TestErrorWrapsCustomErr(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("shard exploded")
+	Arm("q", Plan{Kind: Error, Err: sentinel})
+	err := Fire("q")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+}
+
+func TestPanicCarriesFault(t *testing.T) {
+	defer Reset()
+	Arm("boom", Plan{Kind: Panic})
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok || f.Point != "boom" || f.Kind != Panic {
+			t.Fatalf("recovered %v, want *Fault for boom", r)
+		}
+	}()
+	_ = Fire("boom")
+	t.Fatal("Fire did not panic")
+}
+
+func TestDelaySleeps(t *testing.T) {
+	defer Reset()
+	Arm("slow", Plan{Kind: Delay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	defer Reset()
+	Arm("x", Plan{Kind: Error})
+	Disarm("x")
+	if err := Fire("x"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	Arm("race", Plan{After: 1000000, Kind: Error}) // counts but never triggers
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				_ = Fire("race")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if Hits("race") != 8000 {
+		t.Fatalf("Hits = %d, want 8000", Hits("race"))
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte{0x00, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x00 || got[1] != 0xf7 {
+		t.Fatalf("file = %x, want 00f7", got)
+	}
+	if err := FlipBit(path, 0, 8); err == nil {
+		t.Fatal("bit 8 accepted")
+	}
+	if err := FlipBit(path, 99, 0); err == nil {
+		t.Fatal("out-of-range offset accepted")
+	}
+}

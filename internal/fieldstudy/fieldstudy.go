@@ -32,30 +32,31 @@ import (
 )
 
 // DensityClass is a DRAM density generation deployed in the fleet.
+// The JSON tags are the campaign service's wire schema.
 type DensityClass struct {
 	// Label names the generation (e.g. "1Gb", "2Gb", "4Gb").
-	Label string
+	Label string `json:"label"`
 	// RateScale multiplies the fleet-wide base error rate; denser
 	// generations have higher scales in the field studies.
-	RateScale float64
+	RateScale float64 `json:"rate_scale"`
 	// DIMMs is how many modules of this class the fleet has.
-	DIMMs int
+	DIMMs int `json:"dimms"`
 }
 
 // Config parameterizes the fleet.
 type Config struct {
-	Classes []DensityClass
+	Classes []DensityClass `json:"classes"`
 	// BaseRate is the median monthly correctable-error rate of the
 	// oldest generation.
-	BaseRate float64
+	BaseRate float64 `json:"base_rate"`
 	// TailSigma is the lognormal sigma of per-DIMM latent rates; the
 	// field studies' concentration implies a heavy tail (>2).
-	TailSigma float64
+	TailSigma float64 `json:"tail_sigma"`
 	// UEPerCE is the probability scale of an uncorrectable event per
 	// unit of latent rate per month.
-	UEPerCE float64
+	UEPerCE float64 `json:"ue_per_ce"`
 	// Months simulated.
-	Months int
+	Months int `json:"months"`
 }
 
 // DefaultConfig mirrors the scale relationships of the DSN 2015 study
@@ -84,14 +85,14 @@ type DIMMRecord struct {
 
 // ClassStats aggregates one density class.
 type ClassStats struct {
-	Label                  string
-	DIMMs                  int
-	CEPerDIMMMonth         float64
-	FracDIMMsWithCE        float64
-	UEPerThousandDIMMMonth float64
+	Label                  string  `json:"label"`
+	DIMMs                  int     `json:"dimms"`
+	CEPerDIMMMonth         float64 `json:"ce_per_dimm_month"`
+	FracDIMMsWithCE        float64 `json:"frac_dimms_with_ce"`
+	UEPerThousandDIMMMonth float64 `json:"ue_per_thousand_dimm_month"`
 	// Top1PctShare is the fraction of all correctable errors produced
 	// by the top 1% of DIMMs — the concentration metric.
-	Top1PctShare float64
+	Top1PctShare float64 `json:"top1pct_share"`
 }
 
 // Result is the full fleet outcome.
@@ -106,35 +107,26 @@ type Result struct {
 // workers execute the blocks.
 const blockDIMMs = 8192
 
-// simulateDIMM rolls one DIMM's service history from the stream.
-func simulateDIMM(cfg Config, scale float64, src *rng.Stream) (ce, ue int64) {
-	lambda := cfg.BaseRate * scale * src.LogNormal(0, cfg.TailSigma)
-	for m := 0; m < cfg.Months; m++ {
-		ce += src.Poisson(lambda)
-		pUE := cfg.UEPerCE * lambda
-		if pUE > 1 {
-			pUE = 1
-		}
-		if src.Bool(pUE) {
-			ue++
-		}
-	}
-	return ce, ue
+// block is one shard unit: a contiguous run of DIMMs of one class.
+type block struct {
+	class, start, count int
 }
 
-// RunSharded simulates the fleet like Run but scales to millions of
-// DIMMs: DIMMs are partitioned into fixed blocks of blockDIMMs, each
-// block draws from its own substream of the seed, and blocks execute
-// on up to workers goroutines. The result is bit-identical for every
-// worker count (blocks share no state and merge in block order), which
-// is what lets the ~1M-DIMM experiment (E52) ride the same sharded
-// engine as the topology experiments. Per-DIMM records are not
-// retained — only the per-class statistics, including the top-1%
-// concentration share computed over all per-DIMM CE counts.
-func RunSharded(cfg Config, seed uint64, workers int) []ClassStats {
-	type block struct {
-		class, start, count int
-	}
+// blockResult is one block's aggregated outcome. done distinguishes a
+// computed (possibly all-zero) result from a pending block when
+// results are restored from a checkpoint.
+type blockResult struct {
+	done   bool
+	ce     []int64
+	ceSum  int64
+	ueSum  int64
+	withCE int
+}
+
+// planBlocks deterministically partitions the fleet into shard blocks.
+// The plan is a pure function of the config, so a resumed campaign
+// re-derives exactly the block list its checkpoint indexes into.
+func planBlocks(cfg Config) []block {
 	var blocks []block
 	for ci, cls := range cfg.Classes {
 		for start := 0; start < cls.DIMMs; start += blockDIMMs {
@@ -145,53 +137,33 @@ func RunSharded(cfg Config, seed uint64, workers int) []ClassStats {
 			blocks = append(blocks, block{class: ci, start: start, count: count})
 		}
 	}
-	type blockResult struct {
-		ce     []int64
-		ceSum  int64
-		ueSum  int64
-		withCE int
-	}
-	results := make([]blockResult, len(blocks))
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(blocks) {
-		workers = len(blocks)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for bi := range jobs {
-				b := blocks[bi]
-				// The substream is keyed on (class, block start), never
-				// on the block's execution slot. The class sits above
-				// bit 40 so the key cannot collide until a class holds
-				// 2^40 DIMMs.
-				src := rng.New(seed + 0x9e3779b97f4a7c15*(uint64(b.class)<<40+uint64(b.start)+1))
-				r := blockResult{ce: make([]int64, b.count)}
-				scale := cfg.Classes[b.class].RateScale
-				for i := 0; i < b.count; i++ {
-					ce, ue := simulateDIMM(cfg, scale, src)
-					r.ce[i] = ce
-					r.ceSum += ce
-					r.ueSum += ue
-					if ce > 0 {
-						r.withCE++
-					}
-				}
-				results[bi] = r
-			}
-		}()
-	}
-	for bi := range blocks {
-		jobs <- bi
-	}
-	close(jobs)
-	wg.Wait()
+	return blocks
+}
 
+// simulateBlock rolls one block of DIMMs. The substream is keyed on
+// (class, block start), never on the block's execution slot. The class
+// sits above bit 40 so the key cannot collide until a class holds 2^40
+// DIMMs.
+func simulateBlock(cfg Config, seed uint64, b block) blockResult {
+	src := rng.New(seed + 0x9e3779b97f4a7c15*(uint64(b.class)<<40+uint64(b.start)+1))
+	r := blockResult{done: true, ce: make([]int64, b.count)}
+	scale := cfg.Classes[b.class].RateScale
+	for i := 0; i < b.count; i++ {
+		ce, ue := simulateDIMM(cfg, scale, src)
+		r.ce[i] = ce
+		r.ceSum += ce
+		r.ueSum += ue
+		if ce > 0 {
+			r.withCE++
+		}
+	}
+	return r
+}
+
+// mergeBlocks folds per-block results into per-class statistics,
+// always in block order, so the outcome is independent of execution
+// order and of how many of the blocks were restored from a checkpoint.
+func mergeBlocks(cfg Config, blocks []block, results []blockResult) []ClassStats {
 	out := make([]ClassStats, len(cfg.Classes))
 	perClassCE := make([][]int64, len(cfg.Classes))
 	for bi, b := range blocks {
@@ -222,6 +194,59 @@ func RunSharded(cfg Config, seed uint64, workers int) []ClassStats {
 		}
 	}
 	return out
+}
+
+// simulateDIMM rolls one DIMM's service history from the stream.
+func simulateDIMM(cfg Config, scale float64, src *rng.Stream) (ce, ue int64) {
+	lambda := cfg.BaseRate * scale * src.LogNormal(0, cfg.TailSigma)
+	for m := 0; m < cfg.Months; m++ {
+		ce += src.Poisson(lambda)
+		pUE := cfg.UEPerCE * lambda
+		if pUE > 1 {
+			pUE = 1
+		}
+		if src.Bool(pUE) {
+			ue++
+		}
+	}
+	return ce, ue
+}
+
+// RunSharded simulates the fleet like Run but scales to millions of
+// DIMMs: DIMMs are partitioned into fixed blocks of blockDIMMs, each
+// block draws from its own substream of the seed, and blocks execute
+// on up to workers goroutines. The result is bit-identical for every
+// worker count (blocks share no state and merge in block order), which
+// is what lets the ~1M-DIMM experiment (E52) ride the same sharded
+// engine as the topology experiments. Per-DIMM records are not
+// retained — only the per-class statistics, including the top-1%
+// concentration share computed over all per-DIMM CE counts.
+func RunSharded(cfg Config, seed uint64, workers int) []ClassStats {
+	blocks := planBlocks(cfg)
+	results := make([]blockResult, len(blocks))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range jobs {
+				results[bi] = simulateBlock(cfg, seed, blocks[bi])
+			}
+		}()
+	}
+	for bi := range blocks {
+		jobs <- bi
+	}
+	close(jobs)
+	wg.Wait()
+	return mergeBlocks(cfg, blocks, results)
 }
 
 // Run simulates the fleet. Deterministic given the stream.

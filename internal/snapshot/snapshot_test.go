@@ -1,0 +1,256 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSample writes a small container exercising every codec type.
+func writeSample(t *testing.T, path string) {
+	t.Helper()
+	err := WriteFile(path, "repro/test", 3, func(w *Writer) error {
+		w.Tag("sample")
+		w.U8(7)
+		w.U32(0xdeadbeef)
+		w.U64(1<<63 + 12345)
+		w.I64(-42)
+		w.Int(-7)
+		w.F64(3.14159)
+		w.Bool(true)
+		w.Bool(false)
+		w.Bytes8([]byte{1, 2, 3})
+		w.String("hello, snapshot")
+		w.U64s([]uint64{9, 8, 7})
+		w.I64s([]int64{-1, 0, 1})
+		w.Ints([]int{5, -5})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+func readSample(path string) error {
+	return ReadFile(path, "repro/test", 3, func(r *Reader, version uint32) error {
+		if version != 3 {
+			return Mismatchf("version %d", version)
+		}
+		r.Tag("sample")
+		if got := r.U8(); got != 7 && r.Err() == nil {
+			return Corruptf("u8 = %d", got)
+		}
+		if got := r.U32(); got != 0xdeadbeef && r.Err() == nil {
+			return Corruptf("u32 = %#x", got)
+		}
+		if got := r.U64(); got != 1<<63+12345 && r.Err() == nil {
+			return Corruptf("u64 = %d", got)
+		}
+		if got := r.I64(); got != -42 && r.Err() == nil {
+			return Corruptf("i64 = %d", got)
+		}
+		if got := r.Int(); got != -7 && r.Err() == nil {
+			return Corruptf("int = %d", got)
+		}
+		if got := r.F64(); got != 3.14159 && r.Err() == nil {
+			return Corruptf("f64 = %v", got)
+		}
+		if got := r.Bool(); !got && r.Err() == nil {
+			return Corruptf("bool1 = %v", got)
+		}
+		if got := r.Bool(); got && r.Err() == nil {
+			return Corruptf("bool2 = %v", got)
+		}
+		b := r.Bytes8()
+		if r.Err() == nil && (len(b) != 3 || b[0] != 1 || b[2] != 3) {
+			return Corruptf("bytes = %v", b)
+		}
+		if got := r.String(); got != "hello, snapshot" && r.Err() == nil {
+			return Corruptf("string = %q", got)
+		}
+		u := r.U64s()
+		if r.Err() == nil && (len(u) != 3 || u[0] != 9 || u[2] != 7) {
+			return Corruptf("u64s = %v", u)
+		}
+		i := r.I64s()
+		if r.Err() == nil && (len(i) != 3 || i[0] != -1 || i[2] != 1) {
+			return Corruptf("i64s = %v", i)
+		}
+		n := r.Ints()
+		if r.Err() == nil && (len(n) != 2 || n[0] != 5 || n[1] != -5) {
+			return Corruptf("ints = %v", n)
+		}
+		return nil
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.snap")
+	writeSample(t, path)
+	if err := readSample(path); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestBitFlipRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip.snap")
+	writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at every byte position in turn would be slow for
+	// large files but this sample is tiny; cover every offset so the
+	// header, payload and footer regions are all exercised.
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := readSample(path)
+		if err == nil {
+			t.Fatalf("bit flip at offset %d silently loaded", off)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at offset %d: error not ErrCorrupt: %v", off, err)
+		}
+	}
+}
+
+func TestTruncationRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.snap")
+	writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 8, len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := readSample(path)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: want ErrCorrupt, got %v", n, err)
+		}
+	}
+}
+
+func TestWrongKindRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kind.snap")
+	writeSample(t, path)
+	err := ReadFile(path, "repro/other", 3, func(r *Reader, v uint32) error { return nil })
+	if !errors.Is(err, ErrKind) {
+		t.Fatalf("want ErrKind, got %v", err)
+	}
+}
+
+func TestNewerVersionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ver.snap")
+	if err := WriteFile(path, "repro/test", 9, func(w *Writer) error {
+		w.U64(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadFile(path, "repro/test", 3, func(r *Reader, v uint32) error {
+		r.U64()
+		return nil
+	})
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestTrailingBytesRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trail.snap")
+	if err := WriteFile(path, "repro/test", 1, func(w *Writer) error {
+		w.U64(1)
+		w.U64(2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadFile(path, "repro/test", 1, func(r *Reader, v uint32) error {
+		r.U64() // leave one value unread
+		return nil
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for trailing bytes, got %v", err)
+	}
+}
+
+func TestTagMismatchIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tag.snap")
+	if err := WriteFile(path, "repro/test", 1, func(w *Writer) error {
+		w.Tag("alpha")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadFile(path, "repro/test", 1, func(r *Reader, v uint32) error {
+		r.Tag("beta")
+		return nil
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for tag mismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "alpha") {
+		t.Fatalf("error should name the mismatched tag: %v", err)
+	}
+}
+
+func TestImplausibleSliceLength(t *testing.T) {
+	// A reader handed a payload whose slice length exceeds the
+	// remaining bytes must fail instead of allocating.
+	var w Writer
+	w.U64(1 << 40)
+	r := NewReader(w.Bytes())
+	if got := r.U64s(); got != nil {
+		t.Fatalf("U64s returned %d elems from corrupt length", len(got))
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", r.Err())
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "atomic.snap")
+	writeSample(t, path)
+	// A failed encode must leave neither destination nor temp files.
+	path2 := filepath.Join(dir, "fail.snap")
+	wantErr := errors.New("encode boom")
+	if err := WriteFile(path2, "repro/test", 1, func(w *Writer) error {
+		return wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("want encode error, got %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "atomic.snap" {
+			t.Fatalf("unexpected leftover file %q", e.Name())
+		}
+	}
+}
+
+func TestStickyReaderError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.U64() // truncated
+	if r.Err() == nil {
+		t.Fatal("want error after truncated read")
+	}
+	first := r.Err()
+	// Subsequent reads return zero values and keep the first error.
+	if got := r.U64(); got != 0 {
+		t.Fatalf("post-error read = %d, want 0", got)
+	}
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v vs %v", r.Err(), first)
+	}
+}
