@@ -96,6 +96,10 @@ func BenchmarkE50TopologyProfiling(b *testing.B)  { benchExperiment(b, "E50") }
 func BenchmarkE51ControllerRAIDR(b *testing.B)    { benchExperiment(b, "E51") }
 func BenchmarkE52MillionDIMMFleet(b *testing.B)   { benchExperiment(b, "E52") }
 func BenchmarkE53RetentionHotPath(b *testing.B)   { benchExperiment(b, "E53") }
+func BenchmarkE60SSDFrontier(b *testing.B)        { benchExperiment(b, "E60") }
+func BenchmarkE61FlashEquivalence(b *testing.B)   { benchExperiment(b, "E61") }
+func BenchmarkE62PCMFleet(b *testing.B)           { benchExperiment(b, "E62") }
+func BenchmarkE63FlashFieldStudy(b *testing.B)    { benchExperiment(b, "E63") }
 
 // BenchmarkMultiChannelSweep is the multi-channel hammer hot path in
 // isolation: a cross-bank campaign over a 4-channel 2-rank topology,

@@ -7,6 +7,9 @@
 //
 //	flashtest [-sweep pe|retention|reads|interference]
 //	          [-recover none|rfr|nac] [-seed N]
+//
+// Flags are validated up front; a bad invocation costs a one-line
+// message on stderr and exit status 1.
 package main
 
 import (
@@ -39,28 +42,50 @@ func freshBlock(seed uint64, pe int, gamma float64) *flash.Block {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flashtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	// The simulator validates internal contracts by panicking; this
+	// net converts anything that slips past flag validation into the
+	// same one-line failure instead of a stack trace.
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("internal panic: %v", p)
+		}
+	}()
 	sweep := flag.String("sweep", "pe", "sweep axis: pe, retention, reads, interference")
-	recover := flag.String("recover", "none", "recovery to apply: none, rfr, nac")
+	recov := flag.String("recover", "none", "recovery to apply: none, rfr, nac")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	fmt.Printf("flashtest: sweep=%s recover=%s\n", *sweep, *recover)
+	switch *recov {
+	case "none", "rfr", "nac":
+	default:
+		return fmt.Errorf("unknown recovery %q (want none, rfr or nac)", *recov)
+	}
+	switch *sweep {
+	case "pe", "retention", "reads", "interference":
+	default:
+		return fmt.Errorf("unknown sweep %q (want pe, retention, reads or interference)", *sweep)
+	}
+
+	fmt.Printf("flashtest: sweep=%s recover=%s\n", *sweep, *recov)
 	fmt.Printf("%-12s %-12s %-12s\n", "x", "RBER", "post-recovery")
 
 	report := func(x string, b *flash.Block) {
 		rber := b.RBER(0)
 		post := ""
-		switch *recover {
+		switch *recov {
 		case "rfr":
 			res := ftl.RunRFR(b, 0, ftl.DefaultECC(), ftl.DefaultRFRConfig())
 			post = fmt.Sprintf("%.3e", float64(res.ErrorsAfter)/float64(2*b.Cells))
 		case "nac":
 			res := ftl.RunNAC(b, 0, b.ParamsRef().Gamma)
 			post = fmt.Sprintf("%.3e", float64(res.ErrorsAfter)/float64(2*b.Cells))
-		case "none":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown recovery %q\n", *recover)
-			os.Exit(1)
 		}
 		fmt.Printf("%-12s %-12.3e %-12s\n", x, rber, post)
 	}
@@ -95,8 +120,6 @@ func main() {
 			b.ProgramFull(1, zero, ones)
 			report(fmt.Sprintf("%.2f", gamma), b)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
-		os.Exit(1)
 	}
+	return nil
 }

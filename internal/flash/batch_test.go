@@ -1,0 +1,138 @@
+package flash
+
+// Satellite coverage for the word-parallel paths: the Gray-mapping
+// round trip (program then read returns the written pages bit-for-bit
+// when the physics cannot move a cell across a reference), and
+// allocation regression tests pinning the batched read and program
+// paths at zero allocations in steady state.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// idealParams disables wear, retention, read disturb and interference
+// and tightens the programming noise so every cell lands and stays
+// well inside its state's reference window.
+func idealParams() Params {
+	p := DefaultParams()
+	p.WearCoef = 0
+	p.RetCoef = 0
+	p.RDCoef = 0
+	p.Gamma = 0
+	p.Sigma0 = 0.02
+	p.IntSigma = 0.02
+	return p
+}
+
+// TestGrayRoundTrip programs random pages with ProgramFull and reads
+// them back bit-for-bit at nominal and shifted references, across
+// several wordline counts. With the error mechanisms zeroed the only
+// way a bit can differ is a broken Gray mapping or sense sweep.
+func TestGrayRoundTrip(t *testing.T) {
+	for _, wls := range []int{1, 3, 8} {
+		const cells = 512
+		words := cells / 64
+		b := NewBlock(idealParams(), wls, cells, rng.New(77))
+		aux := rng.New(uint64(wls) * 131)
+		truthL := make([][]uint64, wls)
+		truthM := make([][]uint64, wls)
+		for w := 0; w < wls; w++ {
+			truthL[w] = randPage(aux, words)
+			truthM[w] = randPage(aux, words)
+			b.ProgramFull(w, truthL[w], truthM[w])
+		}
+		refs := b.ParamsRef().NominalRefs()
+		// Shifts of up to 0.2V stay inside every inter-state gap at
+		// Sigma0=0.02, so reads must still return the programmed data.
+		for _, d := range []float64{0, -0.2, 0.2} {
+			rr := refs.Shifted(d, -d, d)
+			for w := 0; w < wls; w++ {
+				if e := CountBitErrors(b.ReadLSB(w, rr), truthL[w]); e != 0 {
+					t.Fatalf("wls=%d wl=%d shift=%v: %d LSB errors", wls, w, d, e)
+				}
+				if e := CountBitErrors(b.ReadMSB(w, rr), truthM[w]); e != 0 {
+					t.Fatalf("wls=%d wl=%d shift=%v: %d MSB errors", wls, w, d, e)
+				}
+			}
+		}
+	}
+}
+
+// TestGrayRoundTripTwoStep covers the same property through the
+// two-step path with a buffered LSB (no internal-read corruption is
+// possible with disturb disabled, but the buffered path must be exact
+// regardless).
+func TestGrayRoundTripTwoStep(t *testing.T) {
+	const wls, cells = 4, 512
+	words := cells / 64
+	b := NewBlock(idealParams(), wls, cells, rng.New(5))
+	aux := rng.New(59)
+	refs := b.ParamsRef().NominalRefs()
+	for w := 0; w < wls; w++ {
+		lsb, msb := randPage(aux, words), randPage(aux, words)
+		b.ProgramLSB(w, lsb)
+		b.ProgramMSB(w, msb, refs, lsb)
+		if e := CountBitErrors(b.ReadLSB(w, refs), lsb); e != 0 {
+			t.Fatalf("wl %d: %d LSB errors after two-step", w, e)
+		}
+		if e := CountBitErrors(b.ReadMSB(w, refs), msb); e != 0 {
+			t.Fatalf("wl %d: %d MSB errors after two-step", w, e)
+		}
+	}
+}
+
+// agedAllocBlock builds a block in the worst-case read regime (wear,
+// retention and read disturb all active) so the alloc measurements
+// exercise every hoisted branch.
+func agedAllocBlock() *Block {
+	p := agedEquivParams()
+	b := NewBlock(p, 4, 1024, rng.New(9))
+	aux := rng.New(10)
+	for w := 0; w < b.WLs; w++ {
+		b.ProgramFull(w, randPage(aux, b.Cells/64), randPage(aux, b.Cells/64))
+	}
+	b.CycleWear(20000)
+	b.StressReads(100000)
+	b.AdvanceHours(5000)
+	return b
+}
+
+// TestBatchedReadsAllocFree pins ReadLSBInto/ReadMSBInto and RBER at
+// zero allocations per call — the property that makes the FTL
+// lifetime loops zero-alloc steady-state.
+func TestBatchedReadsAllocFree(t *testing.T) {
+	b := agedAllocBlock()
+	refs := b.ParamsRef().NominalRefs()
+	buf := make([]uint64, b.Cells/64)
+	if a := testing.AllocsPerRun(50, func() {
+		b.ReadLSBInto(0, refs, buf)
+		b.ReadMSBInto(1, refs, buf)
+	}); a != 0 {
+		t.Errorf("batched reads allocate %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(50, func() {
+		b.RBER(2)
+	}); a != 0 {
+		t.Errorf("RBER allocates %v per run, want 0", a)
+	}
+}
+
+// TestBatchedProgramAllocFree pins the erase/program cycle — the FCR
+// lifetime inner loop — at zero allocations: the rise scratch is
+// owned by the block, not allocated per program.
+func TestBatchedProgramAllocFree(t *testing.T) {
+	b := agedAllocBlock()
+	refs := b.ParamsRef().NominalRefs()
+	aux := rng.New(11)
+	lsb, msb := randPage(aux, b.Cells/64), randPage(aux, b.Cells/64)
+	if a := testing.AllocsPerRun(20, func() {
+		b.Erase()
+		b.ProgramFull(0, lsb, msb)
+		b.ProgramLSB(1, lsb)
+		b.ProgramMSB(1, msb, refs, nil)
+	}); a != 0 {
+		t.Errorf("erase/program cycle allocates %v per run, want 0", a)
+	}
+}

@@ -1,0 +1,125 @@
+package flash
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The flash read hot path in isolation: an FCR/RFR-shaped read storm
+// (every page of an aged block, at nominal and shifted references)
+// over a block with wear, retention and read disturb all active —
+// the regime every FTL lifetime probe and recovery sweep lives in.
+// Block is the production word-parallel path through ReadLSBInto/
+// ReadMSBInto with a caller-owned buffer; Reference is the seed
+// cell-at-a-time path with per-read allocation. BENCH_5 records the
+// pair's ratio.
+func benchReadStorm(b *testing.B, reference bool) {
+	const wls, cells = 8, 4096
+	p := DefaultParams()
+	aux := rng.New(2)
+	words := cells / 64
+	mkPages := func() ([]uint64, []uint64) {
+		return randPage(aux, words), randPage(aux, words)
+	}
+	var blk *Block
+	var ref *Reference
+	if reference {
+		ref = NewReference(p, wls, cells, rng.New(1))
+	} else {
+		blk = NewBlock(p, wls, cells, rng.New(1))
+	}
+	for w := 0; w < wls; w++ {
+		lsb, msb := mkPages()
+		if reference {
+			ref.ProgramFull(w, lsb, msb)
+		} else {
+			blk.ProgramFull(w, lsb, msb)
+		}
+	}
+	age := func(cw int, sr int64, h float64) {
+		if reference {
+			ref.CycleWear(cw)
+			ref.StressReads(sr)
+			ref.AdvanceHours(h)
+		} else {
+			blk.CycleWear(cw)
+			blk.StressReads(sr)
+			blk.AdvanceHours(h)
+		}
+	}
+	age(20000, 100000, 5000)
+	refs := p.NominalRefs()
+	sweeps := []ReadRefs{refs, refs.Shifted(-0.12, 0.08, -0.08), refs.Shifted(0.12, -0.08, 0.08)}
+	buf := make([]uint64, words)
+	sink := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, rr := range sweeps {
+			for w := 0; w < wls; w++ {
+				if reference {
+					sink += CountBitErrors(ref.ReadLSB(w, rr), ref.TruthLSB(w))
+					sink += CountBitErrors(ref.ReadMSB(w, rr), ref.TruthMSB(w))
+				} else {
+					sink += CountBitErrors(blk.ReadLSBInto(w, rr, buf), blk.TruthLSB(w))
+					sink += CountBitErrors(blk.ReadMSBInto(w, rr, buf), blk.TruthMSB(w))
+				}
+			}
+		}
+	}
+	if sink < 0 {
+		b.Fatal("impossible") // keep the error counter live
+	}
+}
+
+func BenchmarkReadStormBlock(b *testing.B)     { benchReadStorm(b, false) }
+func BenchmarkReadStormReference(b *testing.B) { benchReadStorm(b, true) }
+
+// The FCR lifetime inner loop: erase, program both pages, age, decode
+// probes — the erase/program half of the story (scratch reuse, hoisted
+// sigma, word-parallel Gray dispatch).
+func benchLifetimeCycle(b *testing.B, reference bool) {
+	const wls, cells = 4, 4096
+	p := DefaultParams()
+	aux := rng.New(4)
+	words := cells / 64
+	lsb, msb := randPage(aux, words), randPage(aux, words)
+	var blk *Block
+	var ref *Reference
+	if reference {
+		ref = NewReference(p, wls, cells, rng.New(3))
+	} else {
+		blk = NewBlock(p, wls, cells, rng.New(3))
+	}
+	refs := p.NominalRefs()
+	buf := make([]uint64, words)
+	sink := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if reference {
+			ref.Erase()
+			for w := 0; w < wls; w++ {
+				ref.ProgramFull(w, lsb, msb)
+			}
+			ref.AdvanceHours(24)
+			for w := 0; w < wls; w++ {
+				sink += CountBitErrors(ref.ReadLSB(w, refs), ref.TruthLSB(w))
+			}
+		} else {
+			blk.Erase()
+			for w := 0; w < wls; w++ {
+				blk.ProgramFull(w, lsb, msb)
+			}
+			blk.AdvanceHours(24)
+			for w := 0; w < wls; w++ {
+				sink += CountBitErrors(blk.ReadLSBInto(w, refs, buf), blk.TruthLSB(w))
+			}
+		}
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkLifetimeCycleBlock(b *testing.B)     { benchLifetimeCycle(b, false) }
+func BenchmarkLifetimeCycleReference(b *testing.B) { benchLifetimeCycle(b, true) }

@@ -23,11 +23,26 @@
 // Reads are deterministic given the physics state; all randomness is
 // injected at construction and programming time from an explicit
 // stream, so experiments replay exactly.
+//
+// Block is the word-parallel production implementation: senses and
+// programs sweep 64 cells per packed word, all per-wordline physics
+// terms (wear factor, read-disturb scale, retention logarithm,
+// programming sigma) are hoisted out of the per-cell loop, and the
+// ReadLSBInto/ReadMSBInto variants plus block-owned scratch make the
+// FTL lifetime loops allocation-free in steady state. Reference is
+// the seed cell-at-a-time implementation kept verbatim as the
+// equivalence oracle; equiv_test.go pins the two bit-identical —
+// same page bits, voltages, counters and RNG consumption — under
+// mixed command sequences at seeds 1 and 5. Every arithmetic hoist
+// here preserves the Reference's evaluation order exactly (the
+// factors are pre-associated, never re-associated), which is what
+// makes bit-equality achievable in floating point.
 package flash
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/rng"
 )
@@ -148,7 +163,9 @@ const (
 )
 
 // Block is one NAND block: WLs wordlines of Cells cells each; each
-// wordline exposes an LSB page and an MSB page.
+// wordline exposes an LSB page and an MSB page. This is the
+// word-parallel implementation; Reference is the seed original it is
+// proven bit-identical to.
 type Block struct {
 	p     Params
 	WLs   int
@@ -171,10 +188,86 @@ type Block struct {
 	rdSus []float32
 	coup  []float32
 
+	// Pre-associated per-cell leading factor pairs of the disturb and
+	// retention chains: rdStatic = RDCoef*rdSus_i and retStatic =
+	// RetCoef*leak_i. The Reference evaluates its chains left to
+	// right, so its first multiplication is exactly this product —
+	// precomputing it (and nothing beyond it) keeps every later
+	// multiply in the original order and the results bit-identical.
+	rdStatic  []float64
+	retStatic []float64
+
+	// Scratch reused across calls so programming and RBER probes are
+	// allocation-free in steady state (arena-style: owned by the
+	// block, never retained past the call that fills it).
+	rise []float32
+	pg   []uint64
+
+	// Sense cache. A cell's stored voltage only changes at erase,
+	// program, or neighbour-interference time, so the float64 widening
+	// and the erased-level division (Means[3]-v)/span that every read
+	// performs are memoized per cell and rebuilt lazily per wordline
+	// (vDirty). The retention chain's leading product
+	// (retStatic*wf)*logTerm depends only on (pe, clockHours,
+	// progHour[w]); retWL caches it per wordline under that key. The
+	// cached values come from exactly the operations the Reference
+	// performs, so reads through the cache stay bit-identical.
+	vq     []float64
+	erLvl  []float64
+	retWL  []float64
+	vDirty []bool
+	retPE  []int
+	retClk []float64
+	retPrg []float64
+
 	src *rng.Stream
 }
 
+// markDirty invalidates wordline w's cached sense terms after a
+// voltage write.
+func (b *Block) markDirty(w int) { b.vDirty[w] = true }
+
+// senseWL returns wordline w's cached float64 voltages and erased
+// levels, rebuilding them if a write invalidated the cache.
+func (b *Block) senseWL(w int) (vq, erLvl []float64) {
+	off := w * b.Cells
+	vq = b.vq[off : off+b.Cells]
+	erLvl = b.erLvl[off : off+b.Cells]
+	if b.vDirty[w] {
+		vw := b.v[w]
+		m3 := b.p.Means[3]
+		span := m3 - b.p.Means[0]
+		for c, f := range vw {
+			v := float64(f)
+			vq[c] = v
+			erLvl[c] = (m3 - v) / span
+		}
+		b.vDirty[w] = false
+	}
+	return vq, erLvl
+}
+
+// retentionWL returns wordline w's cached (retStatic*wf)*logTerm
+// products, rebuilding them when wear or the retention age changed.
+// wf and logTerm must be the values derived from the block's current
+// pe, clockHours and progHour[w] — the cache key.
+func (b *Block) retentionWL(w int, wf, logTerm float64) []float64 {
+	off := w * b.Cells
+	ret := b.retWL[off : off+b.Cells]
+	if b.retPE[w] != b.pe || b.retClk[w] != b.clockHours || b.retPrg[w] != b.progHour[w] {
+		rs := b.retStatic[off : off+b.Cells]
+		for c := range ret {
+			ret[c] = rs[c] * wf * logTerm
+		}
+		b.retPE[w], b.retClk[w], b.retPrg[w] = b.pe, b.clockHours, b.progHour[w]
+	}
+	return ret
+}
+
 // NewBlock builds an erased block. Cells must be a multiple of 64.
+// The RNG consumption (per cell: leak, read-disturb susceptibility,
+// coupling, then the manufacturing erase) matches NewReference draw
+// for draw.
 func NewBlock(p Params, wls, cells int, src *rng.Stream) *Block {
 	if cells%64 != 0 || cells <= 0 || wls <= 0 {
 		panic(fmt.Sprintf("flash: invalid block geometry %dx%d", wls, cells))
@@ -189,6 +282,12 @@ func NewBlock(p Params, wls, cells int, src *rng.Stream) *Block {
 		b.rdSus[i] = float32(src.LogNormal(0, p.RDSigma))
 		b.coup[i] = float32(src.LogNormal(0, p.CoupSigma))
 	}
+	b.rdStatic = make([]float64, n)
+	b.retStatic = make([]float64, n)
+	for i := 0; i < n; i++ {
+		b.rdStatic[i] = p.RDCoef * float64(b.rdSus[i])
+		b.retStatic[i] = p.RetCoef * float64(b.leak[i])
+	}
 	b.v = make([][]float32, wls)
 	b.truthLSB = make([][]uint64, wls)
 	b.truthMSB = make([][]uint64, wls)
@@ -200,6 +299,18 @@ func NewBlock(p Params, wls, cells int, src *rng.Stream) *Block {
 	b.state = make([]wlState, wls)
 	b.progHour = make([]float64, wls)
 	b.readBase = make([]int64, wls)
+	b.rise = make([]float32, cells)
+	b.pg = make([]uint64, cells/64)
+	b.vq = make([]float64, n)
+	b.erLvl = make([]float64, n)
+	b.retWL = make([]float64, n)
+	b.vDirty = make([]bool, wls)
+	b.retPE = make([]int, wls)
+	b.retClk = make([]float64, wls)
+	b.retPrg = make([]float64, wls)
+	for w := 0; w < wls; w++ {
+		b.retClk[w] = math.NaN() // never matches: forces first build
+	}
 	b.pe = -1 // the initial erase is manufacturing, not wear
 	b.Erase()
 	return b
@@ -223,12 +334,17 @@ func (b *Block) sigma(base float64) float64 {
 func (b *Block) wearFactor() float64 { return 1 + float64(b.pe)/b.p.PENorm }
 
 // Erase resets every cell to the erased distribution and increments
-// the P/E count.
+// the P/E count. The noise sigma depends only on the (just
+// incremented) P/E count, so it is computed once per erase rather
+// than once per cell.
 func (b *Block) Erase() {
 	b.pe++
+	sg := b.sigma(b.p.Sigma0)
+	mean := b.p.Means[ER]
 	for w := 0; w < b.WLs; w++ {
-		for c := 0; c < b.Cells; c++ {
-			b.v[w][c] = float32(b.src.Normal(b.p.Means[ER], b.sigma(b.p.Sigma0)))
+		vw := b.v[w]
+		for c := range vw {
+			vw[c] = float32(b.src.Normal(mean, sg))
 		}
 		b.state[w] = wlErased
 		for i := range b.truthLSB[w] {
@@ -237,6 +353,7 @@ func (b *Block) Erase() {
 		}
 		b.progHour[w] = b.clockHours
 		b.readBase[w] = b.reads
+		b.markDirty(w)
 	}
 }
 
@@ -259,15 +376,6 @@ func setBit(page []uint64, c int, v uint64) {
 	}
 }
 
-// program moves one cell to the target distribution. ISPP only moves
-// voltage upward: a cell already above the target mean stays put.
-func (b *Block) program(w, c int, mean, sigmaBase float64) {
-	target := float32(b.src.Normal(mean, b.sigma(sigmaBase)))
-	if target > b.v[w][c] {
-		b.v[w][c] = target
-	}
-}
-
 // interfere applies program interference from wordline w onto w-1:
 // each aggressor cell's voltage rise couples onto the victim cell at
 // the same column.
@@ -276,34 +384,51 @@ func (b *Block) interfere(w int, rise []float32) {
 		return
 	}
 	vw := b.v[w-1]
+	gamma := float32(b.p.Gamma)
+	coup := b.coup[(w-1)*b.Cells : w*b.Cells]
 	for c := 0; c < b.Cells; c++ {
 		if rise[c] > 0 {
-			vw[c] += float32(b.p.Gamma) * b.coup[(w-1)*b.Cells+c] * rise[c]
+			vw[c] += gamma * coup[c] * rise[c]
 		}
 	}
+	b.markDirty(w - 1)
 }
 
 // ProgramFull programs both pages of an erased wordline in one step
 // (full-sequence programming; no intermediate-state vulnerability).
+// The sweep walks the packed pages word-at-a-time, drawing programming
+// noise only for cells leaving ER — the same per-cell draw order as
+// the Reference.
 func (b *Block) ProgramFull(w int, lsb, msb []uint64) {
 	b.checkPages(w, lsb, msb)
 	if b.state[w] != wlErased {
 		panic("flash: ProgramFull on non-erased wordline")
 	}
-	rise := make([]float32, b.Cells)
-	for c := 0; c < b.Cells; c++ {
-		before := b.v[w][c]
-		s := StateOf(bitOf(lsb, c), bitOf(msb, c))
-		if s != ER {
-			b.program(w, c, b.p.Means[s], b.p.Sigma0)
+	rise := b.rise
+	sg := b.sigma(b.p.Sigma0)
+	vw := b.v[w]
+	for wi := range lsb {
+		lw, mw := lsb[wi], msb[wi]
+		base := wi * 64
+		for bit := 0; bit < 64; bit++ {
+			c := base + bit
+			before := vw[c]
+			s := StateOf((lw>>uint(bit))&1, (mw>>uint(bit))&1)
+			if s != ER {
+				target := float32(b.src.Normal(b.p.Means[s], sg))
+				if target > vw[c] {
+					vw[c] = target
+				}
+			}
+			rise[c] = vw[c] - before
 		}
-		rise[c] = b.v[w][c] - before
 	}
 	copy(b.truthLSB[w], lsb)
 	copy(b.truthMSB[w], msb)
 	b.state[w] = wlFull
 	b.progHour[w] = b.clockHours
 	b.readBase[w] = b.reads
+	b.markDirty(w)
 	b.interfere(w, rise)
 }
 
@@ -314,18 +439,29 @@ func (b *Block) ProgramLSB(w int, lsb []uint64) {
 	if b.state[w] != wlErased {
 		panic("flash: ProgramLSB on non-erased wordline")
 	}
-	rise := make([]float32, b.Cells)
-	for c := 0; c < b.Cells; c++ {
-		before := b.v[w][c]
-		if bitOf(lsb, c) == 0 {
-			b.program(w, c, b.p.IntMean, b.p.IntSigma)
+	rise := b.rise
+	sg := b.sigma(b.p.IntSigma)
+	vw := b.v[w]
+	for wi := range lsb {
+		lw := lsb[wi]
+		base := wi * 64
+		for bit := 0; bit < 64; bit++ {
+			c := base + bit
+			before := vw[c]
+			if (lw>>uint(bit))&1 == 0 {
+				target := float32(b.src.Normal(b.p.IntMean, sg))
+				if target > vw[c] {
+					vw[c] = target
+				}
+			}
+			rise[c] = vw[c] - before
 		}
-		rise[c] = b.v[w][c] - before
 	}
 	copy(b.truthLSB[w], lsb)
 	b.state[w] = wlLSBOnly
 	b.progHour[w] = b.clockHours
 	b.readBase[w] = b.reads
+	b.markDirty(w)
 	b.interfere(w, rise)
 }
 
@@ -335,90 +471,210 @@ func (b *Block) ProgramLSB(w int, lsb []uint64) {
 // LSB is wrong and the cell lands in the wrong final state — this is
 // the two-step vulnerability. If bufferedLSB is non-nil the controller
 // supplies the true LSB (the HPCA 2017 mitigation) and the internal
-// read is skipped.
+// read is skipped. The internal read uses the same hoisted physics
+// terms as the Into read paths.
 func (b *Block) ProgramMSB(w int, msb []uint64, refs ReadRefs, bufferedLSB []uint64) {
 	b.checkPage(w, msb)
 	if b.state[w] != wlLSBOnly {
 		panic("flash: ProgramMSB requires an LSB-programmed wordline")
 	}
-	rise := make([]float32, b.Cells)
-	for c := 0; c < b.Cells; c++ {
-		before := b.v[w][c]
-		var lsbBit uint64
+	rise := b.rise
+	sg := b.sigma(b.p.Sigma0)
+	vw := b.v[w]
+	span := b.p.Means[3] - b.p.Means[0]
+	m0, m3 := b.p.Means[0], b.p.Means[3]
+	reads := float64(b.reads - b.readBase[w])
+	rdOn := reads > 0 && b.p.RDCoef > 0
+	dt := b.clockHours - b.progHour[w]
+	retOn := dt > 0 && b.p.RetCoef > 0
+	wf := b.wearFactor()
+	var logTerm float64
+	if retOn {
+		logTerm = math.Log(1 + dt/b.p.RetT0Hours)
+	}
+	rInt := float32(refs.RInt)
+	off := w * b.Cells
+	for wi := range msb {
+		mw := msb[wi]
+		var lw uint64
 		if bufferedLSB != nil {
-			lsbBit = bitOf(bufferedLSB, c)
-		} else {
-			// Internal read of the (possibly disturbed) intermediate.
-			if b.effV(w, c) < float32(refs.RInt) {
-				lsbBit = 1
+			lw = bufferedLSB[wi]
+		}
+		base := wi * 64
+		for bit := 0; bit < 64; bit++ {
+			c := base + bit
+			before := vw[c]
+			var lsbBit uint64
+			if bufferedLSB != nil {
+				lsbBit = (lw >> uint(bit)) & 1
+			} else {
+				// Internal read of the (possibly disturbed) intermediate.
+				v := float64(vw[c])
+				if rdOn {
+					erLevel := (m3 - v) / span
+					if erLevel > 0 {
+						v += b.rdStatic[off+c] * reads * wf * erLevel
+					}
+				}
+				if retOn {
+					level := (v - m0) / span
+					if level > 0 {
+						v -= b.retStatic[off+c] * wf * logTerm * level * span
+					}
+				}
+				if float32(v) < rInt {
+					lsbBit = 1
+				}
 			}
+			s := StateOf(lsbBit, (mw>>uint(bit))&1)
+			if s != ER {
+				target := float32(b.src.Normal(b.p.Means[s], sg))
+				if target > vw[c] {
+					vw[c] = target
+				}
+			}
+			rise[c] = vw[c] - before
 		}
-		s := StateOf(lsbBit, bitOf(msb, c))
-		if s != ER {
-			b.program(w, c, b.p.Means[s], b.p.Sigma0)
-		}
-		rise[c] = b.v[w][c] - before
 	}
 	copy(b.truthMSB[w], msb)
 	b.state[w] = wlFull
 	// The MSB step re-verifies placement; retention clock restarts.
 	b.progHour[w] = b.clockHours
 	b.readBase[w] = b.reads
+	b.markDirty(w)
 	b.interfere(w, rise)
 }
 
-// effV returns the cell's effective voltage right now: programmed
-// voltage plus read-disturb shift minus retention drift.
-func (b *Block) effV(w, c int) float32 {
-	i := w*b.Cells + c
-	v := float64(b.v[w][c])
+// ReadLSBInto reads the LSB page of a wordline into out, which must
+// be a page-sized buffer; it returns out. Under the Gray mapping the
+// LSB is 1 for states below R12. Every read disturbs the block. The
+// sense sweep accumulates 64 page bits in a register and stores one
+// word per iteration; the wear factor, read-disturb scale and
+// retention logarithm are computed once per wordline. It performs no
+// allocation — the zero-alloc building block of the FTL lifetime
+// loops.
+func (b *Block) ReadLSBInto(w int, refs ReadRefs, out []uint64) []uint64 {
+	b.checkPage(w, out)
+	b.reads++
 	span := b.p.Means[3] - b.p.Means[0]
-	// Read disturb pushes low cells up.
+	m0 := b.p.Means[0]
 	reads := float64(b.reads - b.readBase[w])
-	if reads > 0 && b.p.RDCoef > 0 {
-		erLevel := (b.p.Means[3] - v) / span
-		if erLevel > 0 {
-			v += b.p.RDCoef * float64(b.rdSus[i]) * reads * b.wearFactor() * erLevel
-		}
-	}
-	// Retention pulls high cells down.
+	rdOn := reads > 0 && b.p.RDCoef > 0
 	dt := b.clockHours - b.progHour[w]
-	if dt > 0 && b.p.RetCoef > 0 {
-		level := (v - b.p.Means[0]) / span
-		if level > 0 {
-			v -= b.p.RetCoef * float64(b.leak[i]) * b.wearFactor() *
-				math.Log(1+dt/b.p.RetT0Hours) * level * span
-		}
+	retOn := dt > 0 && b.p.RetCoef > 0
+	wf := b.wearFactor()
+	vq, erLvl := b.senseWL(w)
+	var ret []float64
+	if retOn {
+		ret = b.retentionWL(w, wf, math.Log(1+dt/b.p.RetT0Hours))
 	}
-	return float32(v)
+	rdS := b.rdStatic[w*b.Cells : (w+1)*b.Cells]
+	r12 := refs.R12
+	if rdOn && retOn {
+		// Hot path: both drift terms active (any aged, stressed
+		// block). The sense kernel sweeps the cached per-cell terms in
+		// one pass — SSE2 two-lanes-per-step on amd64, the equivalent
+		// branchless scalar loop elsewhere — producing the same bits
+		// as the Reference's guarded per-cell chains.
+		n := len(vq)
+		senseSweepLSB(&vq[0], &erLvl[0], &rdS[0], &ret[0], n, reads, wf, m0, span, r12, &out[0])
+		return out
+	}
+	for wi := range out {
+		var word uint64
+		base := wi * 64
+		vqw, elw, rdw := vq[base:base+64], erLvl[base:base+64], rdS[base:base+64]
+		var retw []float64
+		if retOn {
+			retw = ret[base : base+64]
+		}
+		for bit := 0; bit < 64; bit++ {
+			v := vqw[bit]
+			if rdOn {
+				el := elw[bit]
+				d := rdw[bit] * reads * wf * el
+				v += math.Float64frombits(math.Float64bits(d) &^ uint64(int64(math.Float64bits(el))>>63))
+			}
+			if retOn {
+				level := (v - m0) / span
+				d := retw[bit] * level * span
+				v -= math.Float64frombits(math.Float64bits(d) &^ uint64(int64(math.Float64bits(level))>>63))
+			}
+			word |= (math.Float64bits(float64(float32(v))-r12) >> 63) << uint(bit)
+		}
+		out[wi] = word
+	}
+	return out
 }
 
-// ReadLSB reads the LSB page of a wordline with the given references.
-// Under the Gray mapping the LSB is 1 for states below R12. Every read
-// disturbs the block.
+// ReadMSBInto reads the MSB page of a wordline into out: the MSB is 1
+// for the lowest and highest states (below R01 or at/above R23). Same
+// batching contract as ReadLSBInto.
+func (b *Block) ReadMSBInto(w int, refs ReadRefs, out []uint64) []uint64 {
+	b.checkPage(w, out)
+	b.reads++
+	span := b.p.Means[3] - b.p.Means[0]
+	m0 := b.p.Means[0]
+	reads := float64(b.reads - b.readBase[w])
+	rdOn := reads > 0 && b.p.RDCoef > 0
+	dt := b.clockHours - b.progHour[w]
+	retOn := dt > 0 && b.p.RetCoef > 0
+	wf := b.wearFactor()
+	vq, erLvl := b.senseWL(w)
+	var ret []float64
+	if retOn {
+		ret = b.retentionWL(w, wf, math.Log(1+dt/b.p.RetT0Hours))
+	}
+	rdS := b.rdStatic[w*b.Cells : (w+1)*b.Cells]
+	r01, r23 := refs.R01, refs.R23
+	if rdOn && retOn {
+		// Hot path — see ReadLSBInto; only the final partition differs
+		// (MSB is set below R01 or at/above R23).
+		n := len(vq)
+		senseSweepMSB(&vq[0], &erLvl[0], &rdS[0], &ret[0], n, reads, wf, m0, span, r01, r23, &out[0])
+		return out
+	}
+	for wi := range out {
+		var word uint64
+		base := wi * 64
+		vqw, elw, rdw := vq[base:base+64], erLvl[base:base+64], rdS[base:base+64]
+		var retw []float64
+		if retOn {
+			retw = ret[base : base+64]
+		}
+		for bit := 0; bit < 64; bit++ {
+			v := vqw[bit]
+			if rdOn {
+				el := elw[bit]
+				d := rdw[bit] * reads * wf * el
+				v += math.Float64frombits(math.Float64bits(d) &^ uint64(int64(math.Float64bits(el))>>63))
+			}
+			if retOn {
+				level := (v - m0) / span
+				d := retw[bit] * level * span
+				v -= math.Float64frombits(math.Float64bits(d) &^ uint64(int64(math.Float64bits(level))>>63))
+			}
+			ve := float64(float32(v))
+			lo := math.Float64bits(ve-r01) >> 63
+			hi := (math.Float64bits(ve-r23) >> 63) ^ 1
+			word |= (lo | hi) << uint(bit)
+		}
+		out[wi] = word
+	}
+	return out
+}
+
+// ReadLSB reads the LSB page of a wordline with the given references,
+// allocating the result page. Callers on hot paths should pass their
+// own buffer to ReadLSBInto instead.
 func (b *Block) ReadLSB(w int, refs ReadRefs) []uint64 {
-	b.reads++
-	out := make([]uint64, b.Cells/64)
-	for c := 0; c < b.Cells; c++ {
-		if float64(b.effV(w, c)) < refs.R12 {
-			setBit(out, c, 1)
-		}
-	}
-	return out
+	return b.ReadLSBInto(w, refs, make([]uint64, b.Cells/64))
 }
 
-// ReadMSB reads the MSB page of a wordline: the MSB is 1 for the
-// lowest and highest states (below R01 or at/above R23).
+// ReadMSB reads the MSB page of a wordline, allocating the result
+// page. Hot paths should use ReadMSBInto.
 func (b *Block) ReadMSB(w int, refs ReadRefs) []uint64 {
-	b.reads++
-	out := make([]uint64, b.Cells/64)
-	for c := 0; c < b.Cells; c++ {
-		v := float64(b.effV(w, c))
-		if v < refs.R01 || v >= refs.R23 {
-			setBit(out, c, 1)
-		}
-	}
-	return out
+	return b.ReadMSBInto(w, refs, make([]uint64, b.Cells/64))
 }
 
 // CycleWear ages the block by n program/erase cycles without the data
@@ -475,26 +731,19 @@ func (b *Block) checkPage(w int, page []uint64) {
 func CountBitErrors(got, want []uint64) int {
 	n := 0
 	for i := range got {
-		n += popcount(got[i] ^ want[i])
-	}
-	return n
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+		n += bits.OnesCount64(got[i] ^ want[i])
 	}
 	return n
 }
 
 // RBER measures the raw bit error rate of one wordline (both pages)
-// against ground truth with nominal references.
+// against ground truth with nominal references. It reads through the
+// block-owned page scratch, so repeated RBER probes (the FTL lifetime
+// searches) allocate nothing.
 func (b *Block) RBER(w int) float64 {
 	refs := b.p.NominalRefs()
-	e := CountBitErrors(b.ReadLSB(w, refs), b.truthLSB[w]) +
-		CountBitErrors(b.ReadMSB(w, refs), b.truthMSB[w])
+	e := CountBitErrors(b.ReadLSBInto(w, refs, b.pg), b.truthLSB[w]) +
+		CountBitErrors(b.ReadMSBInto(w, refs, b.pg), b.truthMSB[w])
 	return float64(e) / float64(2*b.Cells)
 }
 

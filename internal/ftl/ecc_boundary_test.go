@@ -1,0 +1,192 @@
+package ftl
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/rng"
+)
+
+// flipBits returns a copy of want with n distinct bits flipped,
+// starting at bit index start.
+func flipBits(want []uint64, start, n int) []uint64 {
+	got := make([]uint64, len(want))
+	copy(got, want)
+	for i := 0; i < n; i++ {
+		bit := start + i
+		got[bit/64] ^= 1 << uint(bit%64)
+	}
+	return got
+}
+
+// TestECCEvaluateTBoundary pins the exact decode boundary: a codeword
+// with T errors corrects, T+1 does not, and the verdict is per
+// codeword — a page may carry far more than T total errors and still
+// decode as long as no single codeword exceeds T.
+func TestECCEvaluateTBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		ecc       ECC
+		pageWords int
+		// flips lists (startBit, count) runs of bit errors.
+		flips     [][2]int
+		errors    int
+		uncorr    int
+		codewords int
+	}{
+		{
+			name: "clean page",
+			ecc:  ECC{CodewordBits: 128, T: 2}, pageWords: 4,
+			flips: nil, errors: 0, uncorr: 0, codewords: 2,
+		},
+		{
+			name: "exactly T corrects",
+			ecc:  ECC{CodewordBits: 128, T: 3}, pageWords: 2,
+			flips: [][2]int{{0, 3}}, errors: 3, uncorr: 0, codewords: 1,
+		},
+		{
+			name: "T+1 fails",
+			ecc:  ECC{CodewordBits: 128, T: 3}, pageWords: 2,
+			flips: [][2]int{{0, 4}}, errors: 4, uncorr: 1, codewords: 1,
+		},
+		{
+			name: "T per codeword on every codeword corrects",
+			ecc:  ECC{CodewordBits: 128, T: 3}, pageWords: 6,
+			flips:  [][2]int{{0, 3}, {128, 3}, {256, 3}},
+			errors: 9, uncorr: 0, codewords: 3,
+		},
+		{
+			name: "one codeword over budget among clean ones",
+			ecc:  ECC{CodewordBits: 128, T: 3}, pageWords: 6,
+			flips:  [][2]int{{128, 4}},
+			errors: 4, uncorr: 1, codewords: 3,
+		},
+		{
+			name: "errors straddling a codeword seam split cleanly",
+			ecc:  ECC{CodewordBits: 128, T: 3}, pageWords: 4,
+			// 3 errors end codeword 0, 3 more start codeword 1:
+			// 6 total but neither codeword exceeds T.
+			flips:  [][2]int{{125, 6}},
+			errors: 6, uncorr: 0, codewords: 2,
+		},
+		{
+			name: "T=0 means any error is fatal",
+			ecc:  ECC{CodewordBits: 64, T: 0}, pageWords: 2,
+			flips: [][2]int{{70, 1}}, errors: 1, uncorr: 1, codewords: 2,
+		},
+		{
+			name: "partial tail codeword still decodes",
+			// 3 words = 192 bits with 128-bit codewords: the second
+			// codeword covers only the final 64 bits (hi clamps to
+			// the page length).
+			ecc: ECC{CodewordBits: 128, T: 2}, pageWords: 3,
+			flips: [][2]int{{130, 2}}, errors: 2, uncorr: 0, codewords: 2,
+		},
+		{
+			name: "partial tail codeword over budget",
+			ecc:  ECC{CodewordBits: 128, T: 2}, pageWords: 3,
+			flips: [][2]int{{130, 3}}, errors: 3, uncorr: 1, codewords: 2,
+		},
+		{
+			name: "page smaller than one codeword",
+			ecc:  ECC{CodewordBits: 8192, T: 2}, pageWords: 2,
+			flips: [][2]int{{5, 2}}, errors: 2, uncorr: 0, codewords: 1,
+		},
+	}
+	src := rng.New(7)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := randomPage(src, tc.pageWords)
+			got := make([]uint64, len(want))
+			copy(got, want)
+			for _, f := range tc.flips {
+				for i := 0; i < f[1]; i++ {
+					bit := f[0] + i
+					got[bit/64] ^= 1 << uint(bit%64)
+				}
+			}
+			v := tc.ecc.Evaluate(got, want)
+			if v.Errors != tc.errors || v.Uncorrectable != tc.uncorr || v.Codewords != tc.codewords {
+				t.Fatalf("verdict = %+v, want {Errors:%d Uncorrectable:%d Codewords:%d}",
+					v, tc.errors, tc.uncorr, tc.codewords)
+			}
+			if v.OK() != (tc.uncorr == 0) {
+				t.Fatalf("OK() = %v with %d uncorrectable codewords", v.OK(), v.Uncorrectable)
+			}
+		})
+	}
+}
+
+// TestECCRBERLimitAtBoundary ties RBERLimit to the decode boundary: a
+// codeword carrying exactly RBERLimit*CodewordBits errors corrects,
+// one more fails.
+func TestECCRBERLimitAtBoundary(t *testing.T) {
+	e := ECC{CodewordBits: 512, T: 8}
+	atLimit := int(e.RBERLimit() * float64(e.CodewordBits))
+	if atLimit != e.T {
+		t.Fatalf("RBERLimit*CodewordBits = %d, want T=%d", atLimit, e.T)
+	}
+	want := make([]uint64, e.CodewordBits/64)
+	if v := e.Evaluate(flipBits(want, 0, atLimit), want); !v.OK() {
+		t.Fatalf("errors at the RBER limit should correct: %+v", v)
+	}
+	if v := e.Evaluate(flipBits(want, 0, atLimit+1), want); v.OK() {
+		t.Fatalf("errors beyond the RBER limit should fail: %+v", v)
+	}
+}
+
+// TestMaxEnduranceEndpoints pins the bisection's two shortcut exits:
+// a code that cannot correct anything under hostile params returns 0
+// (fails at PE=0), and a code that tolerates everything returns the
+// search ceiling of 60000 (never fails at the top).
+func TestMaxEnduranceEndpoints(t *testing.T) {
+	cfg := LifetimeConfig{PEPerDay: 5, RetentionSpecDays: 365, ProbeWLs: 1, ProbeCells: 512}
+
+	// Hostile: T=0 with heavy programming noise and strong retention
+	// drift over a decade guarantees raw errors on a fresh block.
+	harsh := flash.DefaultParams()
+	harsh.Sigma0 = 1.5
+	harsh.RetCoef = 0.05
+	zero := MaxEnduranceAtAge(harsh, ECC{CodewordBits: 64, T: 0}, cfg, 24*365*10, rng.New(3))
+	if zero != 0 {
+		t.Fatalf("hopeless code should hit the fails(0) shortcut, got %d", zero)
+	}
+
+	// Forgiving: T equal to the codeword size can never be exceeded,
+	// so the search returns its upper endpoint untouched.
+	lenient := MaxEnduranceAtAge(flash.DefaultParams(), ECC{CodewordBits: 8192, T: 8192}, cfg, 24, rng.New(3))
+	if lenient != 60000 {
+		t.Fatalf("uncappable code should return the 60000 ceiling, got %d", lenient)
+	}
+}
+
+// TestMaxEnduranceInteriorAndDeterminism checks that a realistic
+// configuration lands strictly inside the (0, 60000) search interval
+// and that the bisection is a pure function of the stream seed.
+func TestMaxEnduranceInteriorAndDeterminism(t *testing.T) {
+	p := flash.DefaultParams()
+	e := DefaultECC()
+	cfg := LifetimeConfig{PEPerDay: 5, RetentionSpecDays: 365, ProbeWLs: 2, ProbeCells: 8192}
+	a := MaxEnduranceAtAge(p, e, cfg, 24*365, rng.New(11))
+	b := MaxEnduranceAtAge(p, e, cfg, 24*365, rng.New(11))
+	if a != b {
+		t.Fatalf("bisection not deterministic: %d vs %d at the same seed", a, b)
+	}
+	if a <= 0 || a >= 60000 {
+		t.Fatalf("1-year endurance %d should be interior to (0, 60000)", a)
+	}
+}
+
+// TestMaxEnduranceStressMonotonicDims checks the read-disturb axis:
+// heavy stress reads cannot report more endurance than none under the
+// frontier's own shared-stream discipline.
+func TestMaxEnduranceStressMonotonicDims(t *testing.T) {
+	p := flash.DefaultParams()
+	e := DefaultECC()
+	cfg := LifetimeConfig{PEPerDay: 5, RetentionSpecDays: 365, ProbeWLs: 1, ProbeCells: 4096}
+	calm := MaxEnduranceAtAgeStressed(p, e, cfg, 24*90, 0, rng.New(5))
+	loud := MaxEnduranceAtAgeStressed(p, e, cfg, 24*90, 5_000_000, rng.New(5))
+	if loud > calm {
+		t.Fatalf("stress reads should not raise endurance: calm=%d stressed=%d", calm, loud)
+	}
+}

@@ -102,15 +102,28 @@ func DefaultLifetimeConfig() LifetimeConfig {
 // the given number of hours still decodes, found by bisection over
 // Monte-Carlo probes. Deterministic given the stream.
 func MaxEnduranceAtAge(p flash.Params, e ECC, cfg LifetimeConfig, ageHours float64, src *rng.Stream) int {
+	return MaxEnduranceAtAgeStressed(p, e, cfg, ageHours, 0, src)
+}
+
+// MaxEnduranceAtAgeStressed is MaxEnduranceAtAge with stressReads
+// disturb reads applied between aging and the decode probes — the
+// read-disturb axis of the E60 frontier. With stressReads == 0 it is
+// exactly MaxEnduranceAtAge: StressReads(0) touches no state and
+// draws no randomness. The page and read buffers are allocated once
+// per search and reused across every probe of the bisection (the RNG
+// draw order is untouched by the reuse), so the search itself runs
+// allocation-free apart from the probe blocks.
+func MaxEnduranceAtAgeStressed(p flash.Params, e ECC, cfg LifetimeConfig, ageHours float64, stressReads int64, src *rng.Stream) int {
+	pageWords := cfg.ProbeCells / 64
+	lsb := make([]uint64, pageWords)
+	msb := make([]uint64, pageWords)
+	got := make([]uint64, pageWords)
+	refs := p.NominalRefs()
 	fails := func(pe int) bool {
 		b := flash.NewBlock(p, cfg.ProbeWLs, cfg.ProbeCells, src.Split())
 		b.CycleWear(pe)
 		b.Erase()
-		pageWords := cfg.ProbeCells / 64
-		refs := p.NominalRefs()
 		for w := 0; w < cfg.ProbeWLs; w++ {
-			lsb := make([]uint64, pageWords)
-			msb := make([]uint64, pageWords)
 			for i := range lsb {
 				lsb[i] = src.Uint64()
 				msb[i] = src.Uint64()
@@ -118,11 +131,12 @@ func MaxEnduranceAtAge(p flash.Params, e ECC, cfg LifetimeConfig, ageHours float
 			b.ProgramFull(w, lsb, msb)
 		}
 		b.AdvanceHours(ageHours)
+		b.StressReads(stressReads)
 		for w := 0; w < cfg.ProbeWLs; w++ {
-			if !e.Evaluate(b.ReadLSB(w, refs), b.TruthLSB(w)).OK() {
+			if !e.Evaluate(b.ReadLSBInto(w, refs, got), b.TruthLSB(w)).OK() {
 				return true
 			}
-			if !e.Evaluate(b.ReadMSB(w, refs), b.TruthMSB(w)).OK() {
+			if !e.Evaluate(b.ReadMSBInto(w, refs, got), b.TruthMSB(w)).OK() {
 				return true
 			}
 		}

@@ -1,0 +1,53 @@
+package pcm
+
+import (
+	"reflect"
+	"testing"
+)
+
+func smallFleet() FleetConfig {
+	cfg := DefaultFleetConfig()
+	cfg.Arrays = 8
+	cfg.Lines = 64
+	cfg.MeanEndurance = 5e3
+	return cfg
+}
+
+func TestFleetTournamentShardInvariant(t *testing.T) {
+	cfg := smallFleet()
+	serial := RunFleetTournament(cfg, 7, 1)
+	for _, workers := range []int{2, 4, 16} {
+		sharded := RunFleetTournament(cfg, 7, workers)
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("tournament diverges at workers=%d", workers)
+		}
+	}
+}
+
+func TestFleetTournamentOrdering(t *testing.T) {
+	res := RunFleetTournament(smallFleet(), 7, 2)
+	if len(res) != 3 {
+		t.Fatalf("want 3 schemes, got %d", len(res))
+	}
+	byName := map[string]SchemeStats{}
+	for _, s := range res {
+		byName[s.Scheme] = s
+		if s.MinWrites > s.MaxWrites || float64(s.MinWrites) > s.MeanWrites || s.MeanWrites > float64(s.MaxWrites) {
+			t.Fatalf("%s: min/mean/max inconsistent: %+v", s.Scheme, s)
+		}
+		if s.MeanFracIdeal <= 0 || s.MeanFracIdeal > 1 {
+			t.Fatalf("%s: MeanFracIdeal %v outside (0,1]", s.Scheme, s.MeanFracIdeal)
+		}
+	}
+	// The paper's Start-Gap story: leveling must beat no leveling,
+	// and the randomization layer must not lose to bare start-gap
+	// under a targeted attack.
+	if byName["start-gap"].MeanWrites <= byName["none"].MeanWrites {
+		t.Fatalf("start-gap %v should outlive direct %v",
+			byName["start-gap"].MeanWrites, byName["none"].MeanWrites)
+	}
+	if byName["start-gap+random"].MeanWrites < byName["start-gap"].MeanWrites {
+		t.Fatalf("randomized %v should not lose to bare start-gap %v",
+			byName["start-gap+random"].MeanWrites, byName["start-gap"].MeanWrites)
+	}
+}
