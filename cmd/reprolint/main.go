@@ -1,0 +1,101 @@
+// Command reprolint runs the repository's determinism-contract
+// analyzers (internal/lint) over the module: maporder, detsource,
+// snapfields, and shardcollect, each scoped to the packages it governs
+// (see lint.Suite).
+//
+// Usage:
+//
+//	go run ./cmd/reprolint ./...
+//	go tool reprolint            (pinned via the go.mod tool directive)
+//
+// Diagnostics print one per line as file:line:col: message (analyzer),
+// the format editors and the GitHub annotations step both understand;
+// with -github (or when GITHUB_ACTIONS=true) they print as ::error
+// workflow commands so findings surface inline on pull requests. The
+// exit status is 0 on a clean tree, 1 when any diagnostic fired, and
+// 2 when the load itself failed.
+//
+// -vet additionally runs `go vet` over the same module, standing in
+// for the stock golang.org/x/tools analyzers that an online build
+// would re-export into this binary (this build environment is offline,
+// so the suite is stdlib-only; see DESIGN.md "Determinism contracts").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	github := flag.Bool("github", os.Getenv("GITHUB_ACTIONS") == "true",
+		"emit GitHub Actions ::error annotations instead of plain file:line:col lines")
+	vet := flag.Bool("vet", false,
+		"also run `go vet` over the module (stand-in for re-exported stock analyzers)")
+	list := flag.Bool("list", false, "list the analyzers and their package scopes, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: reprolint [-github] [-vet] [-list] [packages]\n\n"+
+				"Runs the repro determinism-contract analyzers over the module.\n"+
+				"The package pattern is accepted for interface compatibility; the\n"+
+				"suite always analyzes the whole module (./...), matching the scope\n"+
+				"the contracts are defined over.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Suite() {
+			fmt.Printf("%-12s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
+		}
+		return nil
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return err
+	}
+	diags, err := lint.RunSuite(loader)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		if *github {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(loader.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			// Workflow-command annotation format: newlines must be escaped.
+			msg := strings.ReplaceAll(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message), "\n", "%0A")
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", file, d.Pos.Line, d.Pos.Column, msg)
+		} else {
+			fmt.Println(d)
+		}
+	}
+	vetFailed := false
+	if *vet {
+		cmd := exec.Command("go", "vet", "./...")
+		cmd.Dir = loader.ModuleRoot
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+	if len(diags) > 0 || vetFailed {
+		os.Exit(1)
+	}
+	return nil
+}

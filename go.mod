@@ -1,3 +1,13 @@
 module repro
 
 go 1.24
+
+// reprolint (cmd/reprolint) is the repository's determinism linter,
+// registered as a module tool so `go tool reprolint` works anywhere in
+// the tree. It is deliberately a module-local tool rather than a
+// golang.org/x/tools dependency: the analyzers are built on the
+// standard library's go/parser + go/types + go/importer (the same
+// export-data pipeline go vet uses), so the module stays
+// dependency-free and the linter runs in offline environments where
+// the module proxy is unreachable.
+tool repro/cmd/reprolint

@@ -393,6 +393,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	var cancels []context.CancelFunc
+	//repro:unordered every non-terminal campaign is cancelled; cancellation order is not observable in any result
 	for _, c := range s.campaigns {
 		if !c.Status.Terminal() {
 			c.drainStamp = true

@@ -60,14 +60,19 @@ type System struct {
 	// Mem routes flat addresses through the active mapping policy.
 	Mem *memctrl.MemorySystem
 	// Devices, Disturbs and Retentions are indexed [channel][rank].
-	Devices    [][]*dram.Device
+	// Devices aliases the controllers' rank sets, so every device's
+	// cells, clocks and stats are serialized through Mem.
+	Devices    [][]*dram.Device `snapshot:"derived"`
 	Disturbs   [][]*disturb.Model
 	Retentions [][]*retention.Model
 
-	Device    *dram.Device
-	Ctrl      *memctrl.Controller
-	Disturb   *disturb.Model
-	Retention *retention.Model
+	// Device/Ctrl/Disturb/Retention are channel-0/rank-0 aliases kept
+	// for the single-device API; their state rides through Mem,
+	// Disturbs and Retentions above.
+	Device    *dram.Device        `snapshot:"derived"`
+	Ctrl      *memctrl.Controller `snapshot:"derived"`
+	Disturb   *disturb.Model      `snapshot:"derived"`
+	Retention *retention.Model    `snapshot:"derived"`
 }
 
 // Build instantiates a module as a simulated system. Each device of a

@@ -165,12 +165,14 @@ type HammerFaultModel interface {
 // hooks, remapping, and accounting.
 type Device struct {
 	Geom   Geometry
-	Timing Timing
-	Energy Energy
+	Timing Timing `snapshot:"config"`
+	Energy Energy `snapshot:"config"`
 	Stats  Stats
 
-	banks  []*bank
-	faults []FaultModel
+	banks []*bank
+	// faults are attached models, configuration here; their mutable
+	// state (pressure, decay, VRT) is serialized by their owners.
+	faults []FaultModel `snapshot:"config"`
 	remap  *RemapTable
 
 	refreshPtr int // next row group for auto-refresh

@@ -41,7 +41,19 @@ type runCheckpoint struct {
 
 func saveRunCheckpoint(path string, seed uint64, done map[string]RunResult) error {
 	ck := runCheckpoint{Seed: seed}
-	for _, res := range done {
+	// Write results in sorted ID order: ranging the map directly would
+	// serialize the checkpoint in Go's randomized iteration order, so
+	// two checkpoints of identical state would differ byte-for-byte —
+	// breaking the "identical state => identical artifact" contract
+	// every other serializer in this repository honors (found by
+	// reprolint/maporder).
+	ids := make([]string, 0, len(done))
+	for id := range done {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		res := done[id]
 		sr := savedResult{
 			ID: res.ID, Num: res.Num, Title: res.Title, Anchor: res.Anchor,
 			WallNS: int64(res.Wall), Allocs: res.Allocs, AllocBytes: res.AllocBytes,

@@ -251,6 +251,7 @@ func runE7(seed uint64) *stats.Table {
 		t.AddRowf(f, hist[f])
 	}
 	more := 0
+	//repro:unordered commutative sum over the >4 tail; iteration order cannot change the total
 	for f, n := range hist {
 		if f > 4 {
 			more += n

@@ -81,6 +81,7 @@ func runE11(seed uint64) *stats.Table {
 		prof := profile.New(dev, 0, 0)
 		found := prof.Campaign(c.patterns, margin, c.rounds)
 		escapes := 0
+		//repro:unordered commutative membership count over a set; order cannot change the total
 		for k := range atRisk {
 			if !found[k] {
 				escapes++
@@ -222,6 +223,7 @@ func runE23(seed uint64) *stats.Table {
 		prof := profile.New(dev, 0, 0)
 		found := prof.Campaign(pats, 2*slow, rounds)
 		weakRows := map[int]bool{}
+		//repro:unordered set-to-set projection; weakRows membership is order-independent
 		for k := range found {
 			weakRows[k.PhysRow] = true
 		}

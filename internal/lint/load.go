@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/dram").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader enumerates and typechecks the module's packages the same
+// way go vet's unitchecker does: `go list -export -deps -json` yields
+// every package's source files plus build-cache export data for its
+// whole import closure, sources are parsed with go/parser, and imports
+// resolve through go/importer's gc export-data reader. No network and
+// no third-party module is involved.
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module's declared path ("repro").
+	ModulePath string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	roots   []listedPackage   // the module's own packages, sorted by path
+	imp     types.Importer
+	pkgs    map[string]*Package
+}
+
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// NewLoader builds a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModuleRoot: root,
+		fset:       token.NewFileSet(),
+		exports:    make(map[string]string),
+		pkgs:       make(map[string]*Package),
+	}
+	out, err := l.goList("-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Module", "./...")
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parsing go list output: %w", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil {
+			if l.ModulePath == "" {
+				l.ModulePath = p.Module.Path
+			}
+			l.roots = append(l.roots, p)
+		}
+	}
+	sort.Slice(l.roots, func(i, j int) bool { return l.roots[i].ImportPath < l.roots[j].ImportPath })
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.ModuleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// lookupExport satisfies go/importer's Lookup: it resolves an import
+// path to its export data, consulting the closure captured at
+// construction and falling back to an on-demand `go list -export` for
+// packages outside it (e.g. a stdlib package only a lint testdata
+// package imports).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		out, err := l.goList("-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: no export data for %q: %w", path, err)
+		}
+		f = strings.TrimSpace(string(out))
+		if f == "" {
+			return nil, fmt.Errorf("lint: go list produced no export data for %q", path)
+		}
+		l.exports[path] = f
+	}
+	return os.Open(f)
+}
+
+// Roots loads every package of the module itself (test files excluded —
+// the determinism contracts govern simulation code, and test-only map
+// ranges cannot reach a published table).
+func (l *Loader) Roots() ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(l.roots))
+	for _, p := range l.roots {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, gf := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, gf)
+		}
+		pkg, err := l.load(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and typechecks the single package rooted at dir under
+// the given import path. It is the entry point golden-test and
+// mutation-test packages use: dir need not be part of the module build
+// (testdata trees are invisible to `go list ./...`), but its imports
+// must resolve — stdlib and module-internal paths both do.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.load(importPath, dir, files)
+}
+
+func (l *Loader) load(importPath, dir string, filenames []string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", importPath, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

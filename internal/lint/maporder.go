@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in deterministic code. Go map
+// iteration order is randomized per process, so any map range whose
+// visit order can reach a published table, an RNG draw, or a device
+// operation makes the run irreproducible — the exact bug class PR 3
+// fixed in the TRR sampler (it drained its sampler map in random
+// order, so neighbour-refresh order and time/energy charging differed
+// run to run).
+//
+// Two escapes exist:
+//   - the collect-and-sort idiom: a range whose body only appends to a
+//     slice that the same function subsequently sorts (sort.* or
+//     slices.Sort*) is the canonical deterministic drain and passes;
+//   - a `//repro:unordered <why>` annotation on the range line (or the
+//     line above) for sites where order provably cannot leak, e.g. a
+//     set union into another map or a commutative sum.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range over a map in deterministic code unless keys are collected-and-sorted or the site is annotated //repro:unordered",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.suppress(rs, DirectiveUnordered) {
+				return true
+			}
+			if target := collectTarget(pass, rs); target != nil {
+				if sortedAfter(pass, f, rs, target) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"map keys collected into %q but never sorted in this function; sort before use or annotate //%s <why>",
+					target.Name(), DirectiveUnordered)
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map: iteration order is randomized per process; collect-and-sort the keys or annotate //%s <why order cannot leak into results>",
+				DirectiveUnordered)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectTarget recognizes the first half of the collect-and-sort
+// idiom: a range body consisting solely of `xs = append(xs, ...)`.
+// It returns the slice's object, or nil if the body does anything else.
+func collectTarget(pass *Pass, rs *ast.RangeStmt) types.Object {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return nil
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin || fun.Name != "append" {
+		return nil
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	lhsObj := pass.Pkg.Info.ObjectOf(lhs)
+	if lhsObj == nil || pass.Pkg.Info.ObjectOf(arg0) != lhsObj {
+		return nil
+	}
+	return lhsObj
+}
+
+// sortedAfter reports whether, later in the function enclosing rs, the
+// collected slice is passed to a sort.* or slices.Sort* call.
+func sortedAfter(pass *Pass, f *ast.File, rs *ast.RangeStmt, target types.Object) bool {
+	body := enclosingFuncBody(f, rs)
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Pkg.Info.Uses[x].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == target {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// (declaration or literal) in f that contains node.
+func enclosingFuncBody(f *ast.File, node ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		// Prune subtrees that do not contain node; inner containing
+		// functions overwrite outer ones, so the innermost wins.
+		if n.Pos() > node.Pos() || n.End() < node.End() {
+			return false
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}

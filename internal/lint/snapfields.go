@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// SnapFields enforces the snapshot coverage contract: every type that
+// has a SaveState method must have a matching LoadState, and every
+// field of its struct must either be referenced somewhere in the
+// Save/Load bodies or carry an explicit `snapshot:"..."` tag declaring
+// why it is not serialized (conventionally snapshot:"derived" for
+// state recomputed on load, snapshot:"config" for configuration that
+// checkpoint restore overlays onto an already-built value).
+//
+// This catches the silently-unsaved-field class: add a mutable field
+// to a checkpointed type, forget to thread it through SaveState, and
+// resume is no longer bit-identical — the divergence surfaces only
+// when a kill-and-resume run crosses the state you forgot. With this
+// analyzer the new field fails lint until it is either serialized or
+// explicitly declared out of scope.
+var SnapFields = &Analyzer{
+	Name: "snapfields",
+	Doc:  "checks every SaveState has a LoadState and every struct field is referenced by the Save/Load bodies or tagged snapshot:\"...\"",
+	Run:  runSnapFields,
+}
+
+func runSnapFields(pass *Pass) error {
+	type pair struct {
+		save, load *ast.FuncDecl
+	}
+	byType := make(map[string]*pair)
+	// decls maps every function/method object declared in this package
+	// to its declaration, so field references made through same-package
+	// helpers (e.g. a State() accessor the Save/Load bodies call) count
+	// as coverage.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			if fd.Recv == nil || (fd.Name.Name != "SaveState" && fd.Name.Name != "LoadState") {
+				continue
+			}
+			recv := receiverTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			p := byType[recv]
+			if p == nil {
+				p = &pair{}
+				byType[recv] = p
+			}
+			if fd.Name.Name == "SaveState" {
+				p.save = fd
+			} else {
+				p.load = fd
+			}
+		}
+	}
+	names := make([]string, 0, len(byType))
+	for name := range byType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := byType[name]
+		switch {
+		case p.save == nil:
+			pass.Reportf(p.load.Pos(), "type %s has LoadState but no SaveState — nothing can produce the state it restores", name)
+			continue
+		case p.load == nil:
+			pass.Reportf(p.save.Pos(), "type %s has SaveState but no LoadState — its checkpoints cannot be restored", name)
+		}
+		obj := pass.Pkg.Types.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		// Walk the Save/Load bodies plus, transitively, every
+		// same-package function or method they call: field references
+		// anywhere in that closure count as coverage.
+		covered := make(map[types.Object]bool)
+		visited := make(map[*ast.FuncDecl]bool)
+		work := []*ast.FuncDecl{}
+		for _, fd := range []*ast.FuncDecl{p.save, p.load} {
+			if fd != nil {
+				work = append(work, fd)
+			}
+		}
+		for len(work) > 0 {
+			fd := work[len(work)-1]
+			work = work[:len(work)-1]
+			if fd.Body == nil || visited[fd] {
+				continue
+			}
+			visited[fd] = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch obj := pass.Pkg.Info.Uses[id].(type) {
+				case *types.Var:
+					if obj.IsField() {
+						covered[obj] = true
+					}
+				case *types.Func:
+					if callee := decls[obj]; callee != nil {
+						work = append(work, callee)
+					}
+				}
+				return true
+			})
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			if covered[fv] {
+				continue
+			}
+			if reflect.StructTag(st.Tag(i)).Get("snapshot") != "" {
+				continue
+			}
+			pass.Reportf(fv.Pos(),
+				"field %s.%s is not referenced by SaveState/LoadState and carries no snapshot:\"...\" tag; serialize it or declare it snapshot:\"derived\"/snapshot:\"config\" — a silently-unsaved field breaks bit-identical resume",
+				name, fv.Name())
+		}
+	}
+	return nil
+}
+
+// receiverTypeName returns the base type name of a method receiver
+// (unwrapping a pointer), or "" if it is not a simple named receiver.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

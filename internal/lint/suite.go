@@ -1,0 +1,93 @@
+package lint
+
+import "strings"
+
+// simPackages are the deterministic-simulation packages (relative to
+// internal/): everything whose execution order, randomness, or clock
+// can reach a published table. Service code (campaign, faultinject,
+// the cmd/ mains) is deliberately absent — wall time in a status stamp
+// is fine; detsource only polices code on the simulation side of the
+// boundary.
+var simPackages = map[string]bool{
+	"dram":       true,
+	"disturb":    true,
+	"retention":  true,
+	"memctrl":    true,
+	"flash":      true,
+	"ftl":        true,
+	"pcm":        true,
+	"attack":     true,
+	"exp":        true,
+	"fieldstudy": true,
+	"snapshot":   true,
+}
+
+// A Configured pairs an analyzer with the set of packages it governs.
+// Applies receives the package path relative to the module root
+// ("internal/dram", "cmd/reprolint", or "" for the root package).
+type Configured struct {
+	Analyzer *Analyzer
+	Applies  func(rel string) bool
+}
+
+func isInternal(rel string) bool {
+	return strings.HasPrefix(rel, "internal/")
+}
+
+func isSim(rel string) bool {
+	return simPackages[strings.TrimPrefix(rel, "internal/")] && isInternal(rel)
+}
+
+// Suite returns the reprolint analyzer roster with the repository's
+// package configuration:
+//
+//   - maporder, snapfields, shardcollect run over all of internal/ —
+//     ordering and snapshot coverage matter everywhere state or
+//     results flow, including the campaign/checkpoint service layer
+//     whose resume paths must be deterministic;
+//   - detsource runs over the simulation packages only.
+//
+// The lint package itself is excluded: its testdata loaders and this
+// suite are tooling, not simulation.
+func Suite() []Configured {
+	notLint := func(rel string) bool { return rel != "internal/lint" && !strings.HasPrefix(rel, "internal/lint/") }
+	return []Configured{
+		{MapOrder, func(rel string) bool { return isInternal(rel) && notLint(rel) }},
+		{DetSource, isSim},
+		{SnapFields, func(rel string) bool { return isInternal(rel) && notLint(rel) }},
+		{ShardCollect, func(rel string) bool { return isInternal(rel) && notLint(rel) }},
+	}
+}
+
+// RunSuite loads every package of the module and applies the
+// configured roster, returning all diagnostics sorted by position.
+// A clean tree returns an empty slice.
+func RunSuite(l *Loader) ([]Diagnostic, error) {
+	pkgs, err := l.Roots()
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		rel := relPath(l.ModulePath, pkg.Path)
+		for _, c := range Suite() {
+			if !c.Applies(rel) {
+				continue
+			}
+			diags, err := RunAnalyzer(c.Analyzer, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func relPath(module, importPath string) string {
+	if importPath == module {
+		return ""
+	}
+	return strings.TrimPrefix(importPath, module+"/")
+}

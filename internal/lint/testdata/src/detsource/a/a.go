@@ -1,0 +1,32 @@
+// Package a is detsource golden testdata: wall-clock reads and ambient
+// randomness in code that is supposed to be bit-reproducible.
+package a
+
+import (
+	"math/rand" // want "import of math/rand in simulation code"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in simulation code"
+	return t.UnixNano() + int64(rand.Intn(10))
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in simulation code"
+}
+
+// A justified annotation suppresses the diagnostic (runner.go's
+// wall-clock measurement metadata is the real-tree example).
+func annotatedWall() time.Duration {
+	//repro:nondeterministic measurement metadata, excluded from table hashes
+	start := time.Now()
+	//repro:nondeterministic measurement metadata, excluded from table hashes
+	return time.Since(start)
+}
+
+// Pure time arithmetic on constants is fine: only the clock-reading
+// and scheduling functions are banned, not the time package itself.
+func duration(n int) time.Duration {
+	return time.Duration(n) * time.Microsecond
+}

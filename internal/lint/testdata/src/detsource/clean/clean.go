@@ -1,0 +1,13 @@
+// Package clean is the detsource should-NOT-fire case: randomness
+// drawn from a seeded internal/rng substream, the repo's contract.
+package clean
+
+import "repro/internal/rng"
+
+// Draw derives a child stream from a seeded root and samples from it —
+// the only sanctioned source of randomness in simulation code.
+func Draw(seed uint64) int {
+	root := rng.New(seed)
+	sub := root.Split()
+	return sub.Intn(16)
+}

@@ -1,0 +1,65 @@
+// Package a is maporder golden testdata: every way a map range can be
+// wrong, suppressed, or idiomatically fine.
+package a
+
+import "sort"
+
+func refresh(k string) {}
+
+// Direct drain with side effects in map order — the PR 3 TRR bug shape.
+func fire(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want "range over map: iteration order is randomized"
+		refresh(k)
+		total += v
+	}
+	return total
+}
+
+// Collect-and-sort: the blessed idiom, no diagnostic.
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collected but never sorted gets its own message.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "collected into .keys. but never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A justified annotation suppresses the diagnostic.
+func annotated(m map[string]int) int {
+	n := 0
+	//repro:unordered commutative count; order cannot change the total
+	for range m {
+		n++
+	}
+	return n
+}
+
+// A bare annotation is itself a finding: escape hatches must say why.
+func bareAnnotation(m map[string]int) int {
+	n := 0
+	//repro:unordered
+	for range m { // want "annotation needs a justification"
+		n++
+	}
+	return n
+}
+
+// Ranging over a slice is always fine.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,17 @@
+// Package clean is the maporder should-NOT-fire case: sorted-key map
+// iteration exactly as production code is expected to write it.
+package clean
+
+import "sort"
+
+// Drain visits every entry in deterministic key order.
+func Drain(counts map[string]int, visit func(string, int)) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		visit(k, counts[k])
+	}
+}

@@ -1,0 +1,42 @@
+// Package clean is the shardcollect should-NOT-fire case:
+// index-addressed result writes, one slot per shard, merged in order
+// after the join — the repository's fan-out contract.
+package clean
+
+import "sync"
+
+// Map squares items with one result slot per worker index; the output
+// is identical for any worker count and any schedule.
+func Map(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			out[i] = it * it
+		}(i, it)
+	}
+	wg.Wait()
+	return out
+}
+
+// PerShard collects into per-shard slices (index-addressed append) and
+// concatenates in shard order after the join.
+func PerShard(shards int, produce func(shard int) []int) []int {
+	per := make([][]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			per[s] = append(per[s], produce(s)...)
+		}(s)
+	}
+	wg.Wait()
+	var merged []int
+	for _, p := range per {
+		merged = append(merged, p...)
+	}
+	return merged
+}

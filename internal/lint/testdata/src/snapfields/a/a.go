@@ -1,0 +1,44 @@
+// Package a is snapfields golden testdata: missing Save/Load pairs and
+// struct fields that silently escape serialization.
+package a
+
+type writer interface {
+	I64(int64)
+	F64(float64)
+}
+
+type reader interface {
+	I64() int64
+	F64() float64
+}
+
+// counter saves ticks, tags cache as derived, and forgets rate.
+type counter struct {
+	ticks int64
+	rate  float64 // want "field counter.rate is not referenced by SaveState/LoadState"
+	cache []int   `snapshot:"derived"`
+}
+
+func (c *counter) SaveState(w writer) { w.I64(c.ticks) }
+
+func (c *counter) LoadState(r reader) error {
+	c.ticks = r.I64()
+	return nil
+}
+
+// orphan can be saved but never restored.
+type orphan struct {
+	n int64
+}
+
+func (o *orphan) SaveState(w writer) { w.I64(o.n) } // want "type orphan has SaveState but no LoadState"
+
+// widow restores state nothing can produce.
+type widow struct {
+	n int64
+}
+
+func (w *widow) LoadState(r reader) error { // want "type widow has LoadState but no SaveState"
+	w.n = r.I64()
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package clean is the snapfields should-NOT-fire case: full field
+// coverage, including a snapshot:"derived" field and fields reached
+// only through same-package helpers (the internal/rng State pattern).
+package clean
+
+type writer interface {
+	I64(int64)
+	F64(float64)
+}
+
+type reader interface {
+	I64() int64
+	F64() float64
+}
+
+// stream serializes pos/scale through state helpers and recomputes
+// inv from scale on load; inv is declared derived rather than saved.
+type stream struct {
+	pos   int64
+	scale float64
+	inv   float64 `snapshot:"derived"` // recomputed from scale on load
+}
+
+func (s *stream) state() (int64, float64) { return s.pos, s.scale }
+
+func (s *stream) setState(pos int64, scale float64) {
+	s.pos = pos
+	s.scale = scale
+	s.inv = 1 / scale
+}
+
+func (s *stream) SaveState(w writer) {
+	pos, scale := s.state()
+	w.I64(pos)
+	w.F64(scale)
+}
+
+func (s *stream) LoadState(r reader) error {
+	pos := r.I64()
+	scale := r.F64()
+	s.setState(pos, scale)
+	return nil
+}

@@ -115,9 +115,9 @@ func (s *Stats) Add(other Stats) {
 // single-device API (and its results) intact; rank-aware callers use
 // AccessRanked/AccessLoc.
 type Controller struct {
-	cfg   Config
+	cfg   Config `snapshot:"config"`
 	ranks []*dram.Device
-	amap  AddressMap
+	amap  AddressMap `snapshot:"config"`
 
 	now        dram.Time
 	nextRefDue dram.Time
@@ -126,10 +126,11 @@ type Controller struct {
 	lastAct    []dram.Time // per flat bank (rank*Banks+bank), for tRC enforcement
 
 	mitigations []Mitigation
-	observers   int // attached mitigations that are not passive
+	observers   int `snapshot:"derived"` // attached mitigations that are not passive
 	// refPolicy, when attached, replaces the uniform per-REF row sweep
-	// (multi-rate refresh).
-	refPolicy autoRefreshPolicy
+	// (multi-rate refresh). It aliases an entry of mitigations, which
+	// SaveState serializes.
+	refPolicy autoRefreshPolicy `snapshot:"derived"`
 	Stats     Stats
 }
 

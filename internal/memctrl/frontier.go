@@ -43,9 +43,9 @@ type Graphene struct {
 	// Threshold is the device's minimum hammer count; a tracked row's
 	// neighbours are refreshed when its estimate reaches
 	// ceil(Threshold/2).
-	Threshold int64
+	Threshold int64 `snapshot:"config"`
 	// CounterBits sizes each counter for the storage estimate.
-	CounterBits int
+	CounterBits int `snapshot:"config"`
 	// WindowREFs resets the tables once per window (counts cannot span
 	// a retention window); zero derives it from the controller's
 	// refresh config like CRA does.
@@ -180,9 +180,9 @@ type TWiCe struct {
 	// Threshold is the device's minimum hammer count; a row's
 	// neighbours are refreshed when its count reaches
 	// ceil(Threshold/2).
-	Threshold int64
+	Threshold int64 `snapshot:"config"`
 	// CounterBits sizes each counter for the storage estimate.
-	CounterBits int
+	CounterBits int `snapshot:"config"`
 	// WindowREFs is the retention window in REF commands (prune pace
 	// is measured against it); zero derives it from the controller's
 	// refresh config.

@@ -1,6 +1,8 @@
 package memctrl
 
 import (
+	"sort"
+
 	"repro/internal/rng"
 	"repro/internal/spd"
 )
@@ -76,14 +78,14 @@ func (p Placement) String() string {
 // halves of this contract.
 type PARA struct {
 	// P is the total neighbour-refresh probability per activation.
-	P float64
+	P float64 `snapshot:"config"`
 	// Where determines the adjacency knowledge available.
-	Where Placement
+	Where Placement `snapshot:"config"`
 	// Oracle is required for InControllerWithSPD.
-	Oracle *spd.AdjacencyOracle
+	Oracle *spd.AdjacencyOracle `snapshot:"config"`
 	// Radius is how many rows on each side a triggered refresh
 	// covers; see the blast-radius contract above.
-	Radius int
+	Radius int `snapshot:"config"`
 
 	src *rng.Stream
 }
@@ -164,9 +166,9 @@ func (p *PARA) StorageBits() int64 { return 0 }
 type CRA struct {
 	// Threshold is the device's minimum hammer count; neighbours are
 	// refreshed when a counter reaches ceil(Threshold/2).
-	Threshold int64
+	Threshold int64 `snapshot:"config"`
 	// CounterBits sizes each counter for the storage estimate.
-	CounterBits int
+	CounterBits int `snapshot:"config"`
 	// WindowREFs is the counter-reset window in REF commands. Zero
 	// derives it from the controller the mitigation is attached to at
 	// the first REF: the REF commands issued per nominal retention
@@ -175,9 +177,9 @@ type CRA struct {
 	WindowREFs int64
 
 	counters map[[2]int]int64 // (flat bank, phys row) -> count
-	banks    int
-	rows     int
-	refs     int64 // REF commands seen, for window reset
+	banks    int              `snapshot:"config"` // geometry, resolved at attach
+	rows     int              `snapshot:"config"`
+	refs     int64            // REF commands seen, for window reset
 }
 
 // NewCRA builds a counter table for the given geometry.
@@ -241,7 +243,7 @@ type TRR struct {
 	// Entries is the sampler capacity.
 	Entries int
 	// SampleP is the probability an activation is sampled.
-	SampleP float64
+	SampleP float64 `snapshot:"config"`
 
 	sampler  [][2]int // slot -> (bank, physRow); slots 0..filled-1 hold samples
 	filled   int
@@ -298,12 +300,12 @@ func (m *TRR) StorageBits() int64 { return int64(m.Entries) * 32 }
 // intrusive" verdict.
 type ANVIL struct {
 	// SampleRate samples one in this many activations.
-	SampleRate int
+	SampleRate int `snapshot:"config"`
 	// IntervalSamples is the analysis window length in samples.
-	IntervalSamples int
+	IntervalSamples int `snapshot:"config"`
 	// HotFraction: a row is flagged if it holds at least this fraction
 	// of the interval's samples.
-	HotFraction float64
+	HotFraction float64 `snapshot:"config"`
 
 	sampleCount int64
 	window      []rowKey
@@ -336,14 +338,30 @@ func (m *ANVIL) OnActivate(c *Controller, bank, logRow int) {
 	for _, k := range m.window {
 		counts[k]++
 	}
-	for k, n := range counts {
+	// Drain the interval histogram in sorted (bank, row) order. The
+	// neighbour refreshes below go through the controller and charge
+	// time and energy, so draining in Go's randomized map order would
+	// make multi-detection intervals irreproducible run to run — the
+	// same bug class as the PR 3 TRR sampler drain (reprolint/maporder
+	// keeps it from coming back).
+	hot := make([]rowKey, 0, len(counts))
+	for k, n := range counts { //repro:unordered keys are filtered into hot and sorted before any side effect
 		if float64(n) >= m.HotFraction*float64(m.IntervalSamples) {
-			// Software cannot know physical adjacency either; it
-			// touches logical neighbours. (ANVIL used ±1 and ±2.)
-			c.RefreshLogRows(k.bank, []int{k.logRow - 2, k.logRow - 1, k.logRow + 1, k.logRow + 2})
-			m.Detections++
-			m.flagged[k] = true
+			hot = append(hot, k)
 		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].bank != hot[j].bank {
+			return hot[i].bank < hot[j].bank
+		}
+		return hot[i].logRow < hot[j].logRow
+	})
+	for _, k := range hot {
+		// Software cannot know physical adjacency either; it
+		// touches logical neighbours. (ANVIL used ±1 and ±2.)
+		c.RefreshLogRows(k.bank, []int{k.logRow - 2, k.logRow - 1, k.logRow + 1, k.logRow + 2})
+		m.Detections++
+		m.flagged[k] = true
 	}
 	m.window = m.window[:0]
 }

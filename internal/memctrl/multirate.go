@@ -32,10 +32,10 @@ import (
 type MultiRateRefresh struct {
 	// DefaultPlan is applied to every flat bank without an explicit
 	// override.
-	DefaultPlan *raidr.Plan
+	DefaultPlan *raidr.Plan `snapshot:"config"`
 
-	plans []*raidr.Plan // per flat bank, resolved at attach
-	over  map[int]*raidr.Plan
+	plans []*raidr.Plan       `snapshot:"config"` // per flat bank, resolved at attach
+	over  map[int]*raidr.Plan `snapshot:"config"` // explicit SetBankPlan overrides
 	ptr   int
 	sweep int64 // current retention window, 1-based
 	rows  int

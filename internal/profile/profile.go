@@ -152,6 +152,7 @@ func (p *Profiler) Campaign(patterns []Pattern, interval dram.Time, rounds int) 
 	found := map[CellKey]bool{}
 	for r := 0; r < rounds; r++ {
 		for _, pat := range patterns {
+			//repro:unordered set union into found; membership is order-independent
 			for k := range p.RunPattern(pat, interval) {
 				found[k] = true
 			}
@@ -175,6 +176,7 @@ func CampaignSystem(ms *memctrl.MemorySystem, patterns []Pattern, interval dram.
 		found := map[SystemKey]bool{}
 		for rk := 0; rk < t.Ranks; rk++ {
 			prof := NewDevice(c.Rank(rk), start)
+			//repro:unordered set union into the channel's found set; membership is order-independent
 			for k := range prof.Campaign(patterns, interval, rounds) {
 				found[SystemKey{Channel: ch, Rank: rk, Cell: k}] = true
 			}
@@ -185,6 +187,7 @@ func CampaignSystem(ms *memctrl.MemorySystem, patterns []Pattern, interval dram.
 	// the result is identical for every worker count.
 	merged := map[SystemKey]bool{}
 	for _, found := range perChan {
+		//repro:unordered set union into merged; membership is order-independent
 		for k := range found {
 			merged[k] = true
 		}

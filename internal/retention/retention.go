@@ -175,7 +175,7 @@ type Model struct {
 	cells     []*weakCell
 	src       *rng.Stream
 	decays    int64
-	tempScale float64
+	tempScale float64 `snapshot:"derived"` // recomputed from Params at construction
 }
 
 var (
