@@ -6,7 +6,13 @@
 // Usage:
 //
 //	memtest [-year 2013] [-passes solid,checker,inversions,rowhammer]
-//	        [-seed N]
+//	        [-seed N] [-ecc none|secded|indram|chipkill] [-scrub N]
+//
+// -ecc runs the test behind an ECC layer, the way a deployed tester
+// sees a protected DIMM: corrected words read back clean (the pass
+// reports no error), and the summary splits what ECC saw into
+// corrected / detected / silent words. -scrub N adds a patrol
+// scrubber at N words per REF.
 //
 // Exit status distinguishes outcomes: 0 when every pass is clean, 2
 // when the module shows bit errors (faulty or RowHammer-vulnerable),
@@ -72,7 +78,19 @@ func run() (total int, err error) {
 	year := flag.Int("year", 2013, "module class year")
 	passes := flag.String("passes", "solid,checker,inversions,rowhammer", "comma-separated passes")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	eccName := flag.String("ecc", "none", "ECC configuration: none, secded, indram, chipkill")
+	scrub := flag.Int("scrub", 0, "patrol scrub words per REF (requires -ecc)")
 	flag.Parse()
+	eccCfg, err := memctrl.ECCByName(*eccName)
+	if err != nil {
+		return 0, fmt.Errorf("-ecc %q: %w", *eccName, err)
+	}
+	if *scrub < 0 {
+		return 0, fmt.Errorf("-scrub %d must be non-negative", *scrub)
+	}
+	if *scrub > 0 && eccCfg.Kind == memctrl.ECCNone {
+		return 0, fmt.Errorf("-scrub %d needs an ECC layer to repair against; pass -ecc", *scrub)
+	}
 
 	passList := strings.Split(*passes, ",")
 	for i, pass := range passList {
@@ -101,8 +119,11 @@ func run() (total int, err error) {
 		m.Vuln.ThresholdMedian /= 50
 	}
 	g := dram.Geometry{Banks: 1, Rows: 512, Cols: 8}
-	s := core.Build(&m, core.Options{Geom: g})
-	fmt.Printf("memtest: module %s, %d rows x %d bits\n", m.ID, g.Rows, g.BitsPerRow())
+	s := core.Build(&m, core.Options{Geom: g, ECC: eccCfg})
+	if *scrub > 0 {
+		s.Ctrl.Attach(memctrl.NewScrubber(*scrub))
+	}
+	fmt.Printf("memtest: module %s, %d rows x %d bits, ecc=%s\n", m.ID, g.Rows, g.BitsPerRow(), eccCfg.Kind)
 
 	for _, pass := range passList {
 		var errs int
@@ -138,6 +159,16 @@ func run() (total int, err error) {
 		}
 		fmt.Printf("  %-12s %s (%d bit errors)\n", pass, status, errs)
 		total += errs
+	}
+	if eccCfg.Kind != memctrl.ECCNone {
+		st := s.Ctrl.Stats
+		fmt.Printf("memtest: ecc words corrected=%d detected=%d silent=%d\n",
+			st.ECCCorrected, st.ECCDetected, st.ECCSilent)
+		// Silent miscorrections defeat the tester: the verify passes read
+		// plausible-but-wrong data and count it as bit errors anyway only
+		// if the decoder's output misses the pattern, so surface them in
+		// the exit status explicitly.
+		total += int(st.ECCSilent)
 	}
 	if total > 0 {
 		fmt.Printf("memtest: %d total errors — module is faulty or RowHammer-vulnerable\n", total)

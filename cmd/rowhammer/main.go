@@ -14,13 +14,19 @@
 //	          [-mitigation none|para|cra|trr|anvil|graphene|twice|refresh2|refresh7|raidr4|raidr8]
 //	          [-sides N] [-decoys N] [-seed N]
 //	          [-channels 1] [-ranks 1] [-mapping row|channel|xor]
-//	          [-shards N]
+//	          [-shards N] [-ecc none|secded|indram|chipkill] [-scrub N]
 //
 // -mode nsided runs the TRRespass-style N-sided pattern (-sides
 // aggressors plus -decoys sampler-burning decoy rows per bank region);
 // -mode adaptive first probes the sidedness sweep on channel 0 and
 // then attacks the whole topology with the winner. -mitigate remains
 // as a deprecated alias of -mitigation.
+//
+// -ecc puts an ECC layer on every channel's read path, so the report
+// splits the induced flips into corrected / detected / silent words —
+// the deployed system's view of the attack rather than the raw flip
+// count. -scrub N adds a patrol scrubber walking N words per REF
+// (requires -ecc).
 //
 // -mitigation raidr4/raidr8 is not a defence: it attaches the
 // controller-integrated multi-rate refresh policy with every row in
@@ -75,6 +81,8 @@ func run() (err error) {
 	ranks := flag.Int("ranks", 1, "ranks per channel")
 	mapping := flag.String("mapping", "row", "address mapping policy: row, channel, xor")
 	shards := flag.Int("shards", 0, "channel-shard worker count (0 = serial)")
+	eccName := flag.String("ecc", "none", "ECC configuration: none, secded, indram, chipkill")
+	scrub := flag.Int("scrub", 0, "patrol scrub words per REF (requires -ecc)")
 	flag.Parse()
 	mitigationSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -100,6 +108,16 @@ func run() (err error) {
 	}
 	if *shards < 0 {
 		return fmt.Errorf("-shards %d must be non-negative", *shards)
+	}
+	eccCfg, err := memctrl.ECCByName(*eccName)
+	if err != nil {
+		return fmt.Errorf("-ecc %q: %w", *eccName, err)
+	}
+	if *scrub < 0 {
+		return fmt.Errorf("-scrub %d must be non-negative", *scrub)
+	}
+	if *scrub > 0 && eccCfg.Kind == memctrl.ECCNone {
+		return fmt.Errorf("-scrub %d needs an ECC layer to repair against; pass -ecc", *scrub)
 	}
 
 	pop := modules.Population(*seed)
@@ -129,7 +147,7 @@ func run() (err error) {
 	if _, err := memctrl.PolicyByName(*mapping, topo); err != nil {
 		return fmt.Errorf("-mapping %q: %w", *mapping, err)
 	}
-	cfg := core.Options{Topology: topo, Mapping: *mapping}
+	cfg := core.Options{Topology: topo, Mapping: *mapping, ECC: eccCfg}
 	if *mitigation == "refresh7" {
 		cfg.RefreshMultiplier = 7
 	}
@@ -185,6 +203,9 @@ func run() (err error) {
 	default:
 		return fmt.Errorf("unknown mitigation %q", *mitigation)
 	}
+	if *scrub > 0 {
+		attachEach(func(int) memctrl.Mitigation { return memctrl.NewScrubber(*scrub) })
+	}
 
 	weak := 0
 	for _, dms := range s.Disturbs {
@@ -194,8 +215,8 @@ func run() (err error) {
 	}
 	fmt.Printf("module %s (year %d, vendor %s), vulnerable=%v, weak cells=%d\n",
 		m.ID, m.Year, m.Vendor, m.Vulnerable(), weak)
-	fmt.Printf("topology=%s mapping=%s mode=%s pairs=%d mitigation=%s\n",
-		topo, s.Mem.Policy().Name(), *mode, *pairs, *mitigation)
+	fmt.Printf("topology=%s mapping=%s mode=%s pairs=%d mitigation=%s ecc=%s scrub=%d\n",
+		topo, s.Mem.Policy().Name(), *mode, *pairs, *mitigation, eccCfg.Kind, *scrub)
 
 	// Fill memory with a checkerboard so both true- and anti-cells sit
 	// in their charged state somewhere, as the original test program's
@@ -254,7 +275,25 @@ func run() (err error) {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	reportResults(s)
+	// With ECC on, sweep all of memory back through the controllers the
+	// way a verification pass (or the next reader) would: the ECC layer
+	// classifies every corrupted word, so the report can split the raw
+	// flips into corrected / detected / silent.
+	if eccCfg.Kind != memctrl.ECCNone {
+		s.Mem.ShardChannels(*shards, func(ch int, c *memctrl.Controller) {
+			for rk := 0; rk < topo.Ranks; rk++ {
+				for b := 0; b < g.Banks; b++ {
+					for r := 0; r < g.Rows; r++ {
+						for col := 0; col < g.Cols; col++ {
+							c.AccessRanked(rk, memctrl.Coord{Bank: b, Row: r, Col: col}, false, 0)
+						}
+					}
+				}
+			}
+		})
+	}
+
+	reportResults(s, eccCfg.Kind != memctrl.ECCNone)
 	return nil
 }
 
@@ -285,11 +324,39 @@ func nsidedBases(topo dram.Topology, sides, decoys int) []memctrl.Loc {
 	return bases
 }
 
-func reportResults(s *core.System) {
+func reportResults(s *core.System, eccOn bool) {
 	dstats := s.Mem.AggregateDeviceStats()
 	fmt.Printf("activations issued: %d\n", dstats.Activates)
 	fmt.Printf("bit flips induced:  %d\n", s.TotalFlips())
-	fmt.Printf("mitigation refreshes: %d\n", s.Mem.AggregateStats().MitRefreshes)
+	agg := s.Mem.AggregateStats()
+	fmt.Printf("mitigation refreshes: %d\n", agg.MitRefreshes)
+	if eccOn {
+		fmt.Printf("ecc words: corrected=%d detected=%d silent=%d\n",
+			agg.ECCCorrected, agg.ECCDetected, agg.ECCSilent)
+		var scanned, repairs int64
+		for ch := 0; ch < s.Topo.Channels; ch++ {
+			for _, m := range s.Mem.Controller(ch).Mitigations() {
+				if sc, ok := m.(*memctrl.Scrubber); ok {
+					scanned += sc.WordsScanned
+					repairs += sc.Repairs
+				}
+			}
+		}
+		if scanned > 0 || repairs > 0 {
+			fmt.Printf("scrubber: scanned=%d repaired=%d\n", scanned, repairs)
+		}
+		switch {
+		case agg.ECCSilent > 0:
+			fmt.Println("RESULT: SILENT CORRUPTION — ECC miscorrected or missed attacker flips")
+		case agg.ECCDetected > 0:
+			fmt.Println("RESULT: detected-uncorrectable errors — attack visible, data lost")
+		case s.TotalFlips() > 0:
+			fmt.Println("RESULT: all induced flips corrected by ECC")
+		default:
+			fmt.Println("RESULT: no flips observed")
+		}
+		return
+	}
 	if s.TotalFlips() > 0 {
 		fmt.Println("RESULT: VULNERABLE — memory isolation violated")
 	} else {

@@ -1,0 +1,142 @@
+package attack
+
+// MiscorrectionHunt is the ECCploit-style templating pass (Cojocar et
+// al., S&P 2019): RowHammer defeats SECDED not by overwhelming it but
+// by finding words where the disturb physics yields two or more
+// co-located flips, some of which the decoder silently miscorrects.
+// The hunt runs the ScanSystem row-striping campaign with ECC off —
+// the attacker profiles raw flips first, exactly as ECCploit does
+// through timing side channels — then classifies every multi-flip word
+// under each ECC configuration offline.
+
+import (
+	"repro/internal/ecc"
+	"repro/internal/memctrl"
+)
+
+// ECCWordFinding is one word the disturb model corrupted with >=2
+// co-located flips, classified under the standard ECC trio.
+type ECCWordFinding struct {
+	// Victim locates the word (Channel/Rank/Bank/Row/Col).
+	Victim memctrl.Loc
+	// Bits are the flipped within-word data-bit positions (0..63),
+	// ascending.
+	Bits []int
+	// Pattern is the data word the victim row was striped with.
+	Pattern uint64
+	// SECDED is the ground-truth verdict of the bit-exact SECDED(72,64)
+	// decoder on this flip pattern; Miscorrect means silent corruption.
+	SECDED ecc.Outcome
+	// InDRAM is the capability-model verdict of the default on-die
+	// code (single-error-correcting over the 64-bit word).
+	InDRAM ecc.Outcome
+	// Chipkill is the capability-model verdict of x4 chipkill.
+	Chipkill ecc.Outcome
+}
+
+// SilentUnderSECDED reports whether SECDED converts this word's flips
+// into silent corruption.
+func (f ECCWordFinding) SilentUnderSECDED() bool { return f.SECDED == ecc.Miscorrect }
+
+// classifyWordFlips runs the flip set through the three codes.
+func classifyWordFlips(pattern uint64, bits []int) (secded, indram, chipkill ecc.Outcome) {
+	cw := ecc.Encode(pattern)
+	for _, b := range bits {
+		cw.FlipBit(ecc.DataPosition(b))
+	}
+	secded = ecc.Classify(pattern, cw)
+
+	block := ecc.BlockCode{DataBits: 64, T: 1}
+	switch {
+	case block.Correctable(len(bits)):
+		indram = ecc.Corrected
+	case block.Detectable(len(bits)):
+		indram = ecc.Detected
+	default:
+		indram = ecc.Miscorrect
+	}
+
+	ck := ecc.Chipkill{SymbolBits: 4, WordBits: 64}
+	switch {
+	case ck.Correctable(bits):
+		chipkill = ecc.Corrected
+	case ck.Detectable(bits):
+		chipkill = ecc.Detected
+	default:
+		chipkill = ecc.Miscorrect
+	}
+	return secded, indram, chipkill
+}
+
+// MiscorrectionHunt row-stripes and double-side hammers every interior
+// victim row of every channel, rank and bank (aggressors derived
+// through the mapping policy, like ScanSystem), collects the words
+// where the disturb model produced >=2 co-located flips, and
+// classifies each under SECDED(72,64), the default on-die code and x4
+// chipkill. Single-flip words — corrected by every configuration — are
+// only counted. Channels shard across up to workers goroutines;
+// findings come back in deterministic channel-major order regardless
+// of worker count.
+//
+// The pass requires ECC-off controllers: an ECC layer would correct or
+// rewrite exactly the patterns the hunt is profiling.
+func MiscorrectionHunt(ms *memctrl.MemorySystem, pattern uint64, pairsPerRow, workers int) (findings []ECCWordFinding, singleFlipWords int) {
+	p := ms.Policy()
+	t := ms.Topology()
+	for ch := 0; ch < ms.Channels(); ch++ {
+		if ms.Controller(ch).ECCEnabled() {
+			panic("attack: MiscorrectionHunt requires ECC-off controllers (the hunt profiles raw flips)")
+		}
+	}
+	perChan := make([][]ECCWordFinding, ms.Channels())
+	singles := make([]int, ms.Channels())
+	ms.ShardChannels(workers, func(ch int, c *memctrl.Controller) {
+		var out []ECCWordFinding
+		for rank := 0; rank < t.Ranks; rank++ {
+			for bank := 0; bank < t.Geom.Banks; bank++ {
+				for v := 1; v < t.Geom.Rows-1; v++ {
+					victim := memctrl.Loc{Channel: ch, Rank: rank, Bank: bank, Row: v}
+					below, above, ok := AdjacentAddrs(p, p.Encode(victim))
+					if !ok {
+						continue
+					}
+					lo, hi := p.Decode(below), p.Decode(above)
+					writeRowRanked(c, lo.Rank, lo.Bank, lo.Row, ^pattern)
+					writeRowRanked(c, rank, bank, v, pattern)
+					writeRowRanked(c, hi.Rank, hi.Bank, hi.Row, ^pattern)
+					c.HammerPairsRanked(rank, bank, lo.Row, hi.Row, pairsPerRow)
+					got := readRowRanked(c, rank, bank, v)
+					for col, word := range got {
+						diff := word ^ pattern
+						if diff == 0 {
+							continue
+						}
+						var flipped []int
+						for d := diff; d != 0; d &= d - 1 {
+							flipped = append(flipped, trailingZeros(d))
+						}
+						if len(flipped) < 2 {
+							singles[ch]++
+							continue
+						}
+						f := ECCWordFinding{
+							Victim:  memctrl.Loc{Channel: ch, Rank: rank, Bank: bank, Row: v, Col: col},
+							Bits:    flipped,
+							Pattern: pattern,
+						}
+						f.SECDED, f.InDRAM, f.Chipkill = classifyWordFlips(pattern, flipped)
+						out = append(out, f)
+					}
+					// Repair the victim for the next iteration.
+					writeRowRanked(c, rank, bank, v, pattern)
+				}
+			}
+		}
+		perChan[ch] = out
+	})
+	for ch, out := range perChan {
+		findings = append(findings, out...)
+		singleFlipWords += singles[ch]
+	}
+	return findings, singleFlipWords
+}

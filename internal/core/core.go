@@ -39,6 +39,8 @@ type Options struct {
 	RemapFraction float64
 	// DisableRefresh turns off auto refresh (retention experiments).
 	DisableRefresh bool
+	// ECC selects the per-channel ECC configuration (zero: non-ECC).
+	ECC memctrl.ECCConfig
 }
 
 // DefaultGeom is the workhorse geometry of the experiments: one bank,
@@ -113,6 +115,7 @@ func Build(m *modules.Module, opt Options) *System {
 	s.Mem = memctrl.NewSystem(s.Devices, policy, memctrl.Config{
 		RefreshMultiplier: opt.RefreshMultiplier,
 		DisableRefresh:    opt.DisableRefresh,
+		ECC:               opt.ECC,
 	})
 	s.Device = s.Devices[0][0]
 	s.Ctrl = s.Mem.Controller(0)

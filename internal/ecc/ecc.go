@@ -197,6 +197,13 @@ func Classify(original uint64, corrupted Codeword72) Outcome {
 // CheckBits returns the number of check bits SECDED(72,64) adds.
 func CheckBits() int { return 8 }
 
+// DataPosition returns the codeword position (1..71) that carries data
+// bit i (0..63). Callers injecting data-bit errors into a codeword —
+// the controller's ECC layer and the miscorrection hunt — flip these
+// positions; check-bit positions (0 and the powers of two) are reached
+// directly through FlipBit.
+func DataPosition(i int) int { return dataPositions[i] }
+
 // --- Capability-level models for stronger codes ---
 
 // BlockCode models a t-error-correcting, (t+1)-error-detecting block

@@ -1,0 +1,328 @@
+package exp
+
+// ECC experiments (E70-E73): the paper's field-error argument holds
+// that deployed systems see retention and disturbance errors only
+// through ECC and scrubbing — so the threat model must be stated in
+// corrected / detected / silent terms, not raw flips. E70 crosses the
+// ECC configurations with the mitigation frontier on one deterministic
+// multi-bit error population; E71 traces the patrol-scrub cost curve
+// (the rate at which scrubbing buys single-bit errors back before they
+// pair into uncorrectable or miscorrectable words); E72 runs the
+// ECCploit-style miscorrection hunt across mapping policies; E73
+// extends the ~1M-DIMM fleet study (E52) with per-event ECC
+// classification under the standard trio.
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/disturb"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/fieldstudy"
+	"repro/internal/memctrl"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("E70", "ECC x mitigation Pareto: corrected/detected/silent breakdown",
+		"Section III: field studies count errors after ECC — the frontier restated in ECC terms", runE70)
+	register("E71", "Patrol scrub rate vs silent corruption cost curve",
+		"Section III: scrubbing is the deployed defence between single-bit and multi-bit words", runE71)
+	register("E72", "Miscorrection hunt across mapping policies (channel-sharded)",
+		"ECCploit: multi-flip words are physical; the mapping only moves their addresses", runE72)
+	register("E73", "ECC fleet study at 1M DIMMs: the error log each code would show",
+		"Section III at fleet scale: the same silicon produces three different error logs", runE73)
+}
+
+// eccConfigs is the DIMM configuration roster of the ECC experiments.
+func eccConfigs() []struct {
+	name string
+	cfg  memctrl.ECCConfig
+} {
+	return []struct {
+		name string
+		cfg  memctrl.ECCConfig
+	}{
+		{"none", memctrl.ECCConfig{Kind: memctrl.ECCNone}},
+		{"secded", memctrl.ECCConfig{Kind: memctrl.ECCSECDED72}},
+		{"indram", memctrl.ECCConfig{Kind: memctrl.ECCInDRAM}},
+		{"chipkill", memctrl.ECCConfig{Kind: memctrl.ECCChipkill}},
+	}
+}
+
+// injectE70Clusters places the deterministic per-word flip clusters of
+// the E70 population on each victim row: a single-bit word (every code
+// corrects), a spread double (every code detects), a triple packed in
+// one nibble (SECDED miscorrects it silently — data bits 0,1,2 sit at
+// codeword positions 3,5,6 whose syndrome cancels — while chipkill
+// corrects it), and a quad spread over four nibbles (beyond chipkill).
+func injectE70Clusters(dm *disturb.Model, v int, threshold float64) {
+	for _, bit := range []int{
+		0*64 + 3,
+		1*64 + 3, 1*64 + 40,
+		2*64 + 0, 2*64 + 1, 2*64 + 2,
+		3*64 + 0, 3*64 + 17, 3*64 + 33, 3*64 + 50,
+	} {
+		dm.InjectWeakCell(0, v, bit, threshold, 1, 1, 1, 1)
+	}
+}
+
+// fillRow writes a row through the controller (populating the ECC
+// shadow alongside the array).
+func fillRow(c *memctrl.Controller, bank, row int, pattern uint64) {
+	for col := 0; col < c.Map().Geom.Cols; col++ {
+		c.AccessCoord(memctrl.Coord{Bank: bank, Row: row, Col: col}, true, pattern)
+	}
+}
+
+// readRow reads a row back through the controller (classifying every
+// corrupted word once).
+func readRow(c *memctrl.Controller, bank, row int) {
+	for col := 0; col < c.Map().Geom.Cols; col++ {
+		c.AccessCoord(memctrl.Coord{Bank: bank, Row: row, Col: col}, false, 0)
+	}
+}
+
+// runE70 crosses the ECC roster with the mitigation frontier on one
+// deterministic error population. The physics is identical down every
+// column (same seed, same command stream): what changes is only how
+// the DIMM reports it — the "none" rows see raw flips, SECDED corrects
+// the singles and miscorrects the packed triple, the on-die code goes
+// silent on everything past two bits, chipkill converts both
+// intra-nibble clusters into corrections and only the four-nibble quad
+// into silence. Mitigations that stop the flips zero every ECC column.
+func runE70(seed uint64) *stats.Table {
+	t := stats.NewTable("E70: ECC x mitigation Pareto (3 victims x {1,2,3,4}-bit word clusters, threshold 100k)",
+		"ecc", "defence", "flips", "corrected", "detected", "silent", "mit refreshes")
+	victims := []int{101, 301, 501}
+	defenses := []struct {
+		name   string
+		attach func(c *memctrl.Controller)
+	}{
+		{"none", nil},
+		{"refresh-x2", func(c *memctrl.Controller) { c.Attach(memctrl.NewRefreshScaling(2)) }},
+		{"PARA p=0.01", func(c *memctrl.Controller) {
+			c.Attach(memctrl.NewPARA(0.01, memctrl.InDRAM, nil, rng.New(seed^0xE70)))
+		}},
+		{"Graphene 8-entry", func(c *memctrl.Controller) { c.Attach(memctrl.NewGraphene(8, 100000, 1)) }},
+	}
+	for _, ec := range eccConfigs() {
+		for _, d := range defenses {
+			g := dram.Geometry{Banks: 1, Rows: 1024, Cols: 8}
+			dev := dram.NewDevice(g)
+			dm := disturb.NewModel(g, disturb.Invulnerable(), rng.New(seed^0x70))
+			for _, v := range victims {
+				injectE70Clusters(dm, v, 100000)
+			}
+			dev.AttachFault(dm)
+			ctrl := memctrl.New(dev, memctrl.Config{ECC: ec.cfg})
+			if d.attach != nil {
+				d.attach(ctrl)
+			}
+			for _, v := range victims {
+				fillRow(ctrl, 0, v, ^uint64(0))
+			}
+			for _, v := range victims {
+				ctrl.HammerPairs(0, v-1, v+1, 125000)
+			}
+			// One readback pass classifies every corrupted word once:
+			// the hammer itself reads only clean aggressor words, so the
+			// ECC counters are exactly the readback triage.
+			for _, v := range victims {
+				readRow(ctrl, 0, v)
+			}
+			t.AddRow(ec.name, d.name,
+				fmt.Sprintf("%d", dm.TotalFlips()),
+				fmt.Sprintf("%d", ctrl.Stats.ECCCorrected),
+				fmt.Sprintf("%d", ctrl.Stats.ECCDetected),
+				fmt.Sprintf("%d", ctrl.Stats.ECCSilent),
+				fmt.Sprintf("%d", ctrl.Stats.MitRefreshes))
+		}
+	}
+	t.AddNote("per victim word clusters: 1 bit (corrected by all), spread 2 (detected by all), nibble-packed 3")
+	t.AddNote("(SECDED-silent, chipkill-corrected), 4-nibble quad (silent past SECDED detection and chipkill);")
+	t.AddNote("expected: identical flips down each defence column — ECC changes the report, mitigations the physics")
+	return t
+}
+
+// runE71 traces the patrol-scrub cost curve on SECDED. Each victim row
+// carries a distance-1 cell and distance-2 cells sharing its words, so
+// the two hammer phases (v±1 then v±2) land the flips in two waves
+// with an idle scrub window between: a patrol fast enough to sweep the
+// bank inside the window repairs the first wave before the second
+// pairs it into detected (2-bit) or silent (nibble-packed 3-bit)
+// words. The MitTime share is the patrol's bandwidth price.
+func runE71(seed uint64) *stats.Table {
+	t := stats.NewTable("E71: scrub rate vs silent corruption (SECDED, two-wave flips, 2048-REF scrub window)",
+		"scrub words/REF", "repairs", "corrected", "detected", "silent", "scrub time %")
+	for _, rate := range []int{0, 2, 8, 32, 128} {
+		g := dram.Geometry{Banks: 1, Rows: 1024, Cols: 8}
+		dev := dram.NewDevice(g)
+		dm := disturb.NewModel(g, disturb.Invulnerable(), rng.New(seed^0x71))
+		var victims []int
+		for v := 101; v <= 901; v += 100 {
+			victims = append(victims, v)
+			// col 0: wave-1 bit 0 (dist 1) + wave-2 bit 1 (dist 2).
+			dm.InjectWeakCell(0, v, 0, 4000, 1, 1, 1, 1)
+			dm.InjectWeakCell(0, v, 1, 4000, 1, 2, 1, 1)
+			// col 1: wave-1 bit 0 + wave-2 bits 1,2 — unrepaired, the
+			// triple at data bits 0,1,2 miscorrects silently.
+			dm.InjectWeakCell(0, v, 64+0, 4000, 1, 1, 1, 1)
+			dm.InjectWeakCell(0, v, 64+1, 4000, 1, 2, 1, 1)
+			dm.InjectWeakCell(0, v, 64+2, 4000, 1, 2, 1, 1)
+		}
+		dev.AttachFault(dm)
+		ctrl := memctrl.New(dev, memctrl.Config{ECC: memctrl.ECCConfig{Kind: memctrl.ECCSECDED72}})
+		var scrub *memctrl.Scrubber
+		if rate > 0 {
+			scrub = memctrl.NewScrubber(rate)
+			ctrl.Attach(scrub)
+		}
+		for _, v := range victims {
+			fillRow(ctrl, 0, v, ^uint64(0))
+		}
+		// Wave 1: distance-1 hammering flips the first bit of each word.
+		for _, v := range victims {
+			ctrl.HammerPairs(0, v-1, v+1, 3000)
+		}
+		// Scrub window: 2048 REFs of idle time. A patrol at W words/REF
+		// sweeps the bank's 8192 words in 8192/W REFs.
+		ctrl.AdvanceTo(ctrl.Now() + 2048*dev.Timing.TREFI)
+		// Wave 2: distance-2 hammering lands the partner flips.
+		for _, v := range victims {
+			ctrl.HammerPairs(0, v-2, v+2, 3000)
+		}
+		pre := ctrl.Stats
+		for _, v := range victims {
+			readRow(ctrl, 0, v)
+		}
+		repairs := int64(0)
+		if scrub != nil {
+			repairs = scrub.Repairs
+		}
+		t.AddRow(fmt.Sprintf("%d", rate),
+			fmt.Sprintf("%d", repairs),
+			fmt.Sprintf("%d", ctrl.Stats.ECCCorrected-pre.ECCCorrected),
+			fmt.Sprintf("%d", ctrl.Stats.ECCDetected-pre.ECCDetected),
+			fmt.Sprintf("%d", ctrl.Stats.ECCSilent-pre.ECCSilent),
+			fmt.Sprintf("%.3f%%", 100*float64(ctrl.Stats.MitTime)/float64(ctrl.Now())))
+	}
+	t.AddNote("9 victim rows, one 2-bit and one 3-bit word each when unscrubbed; a patrol needs >=4 words/REF")
+	t.AddNote("to sweep 8192 words inside the 2048-REF window. expected: silent words vanish as the rate passes")
+	t.AddNote("the sweep threshold while the MitTime share climbs — scrubbing's half of the ECC bargain")
+	return t
+}
+
+// runE72 drives attack.MiscorrectionHunt across the three mapping
+// policies on identical per-channel silicon. The multi-flip words are
+// physical, so every policy finds the same population with the same
+// per-code verdicts; only the flat addresses the attacker would
+// templated-spray differ — the repository's mapping thesis restated
+// for ECC.
+func runE72(seed uint64) *stats.Table {
+	t := stats.NewTable("E72: miscorrection hunt across mapping policies (2ch x 2 banks, injected clusters)",
+		"policy", "multi-flip words", "single-flip words", "secded silent", "indram silent", "chipkill silent", "first silent addr")
+	topo := dram.Topology{Channels: 2, Ranks: 1, Geom: dram.Geometry{Banks: 2, Rows: 96, Cols: 4}}
+	for _, polName := range []string{"row", "channel", "xor"} {
+		devs := make([][]*dram.Device, topo.Channels)
+		for ch := 0; ch < topo.Channels; ch++ {
+			dev := dram.NewDevice(topo.Geom)
+			dm := disturb.NewModel(topo.Geom, disturb.Invulnerable(), rng.New(seed^uint64(0x72+ch)))
+			if ch == 0 {
+				// Bank 0 row 31: a nibble-packed triple (SECDED-silent,
+				// chipkill-corrected) and a same-nibble double
+				// (chipkill-corrected, SECDED-detected).
+				for _, bit := range []int{64 + 0, 64 + 1, 64 + 2, 128 + 4, 128 + 5} {
+					dm.InjectWeakCell(0, 31, bit, 3000, 1, 1, 1, 1)
+				}
+			} else {
+				// Bank 1 row 63: a four-nibble quad (silent past both
+				// capability models) and a spread double.
+				for _, bit := range []int{0, 17, 33, 50, 192 + 3, 192 + 40} {
+					dm.InjectWeakCell(1, 63, bit, 3000, 1, 1, 1, 1)
+				}
+			}
+			dev.AttachFault(dm)
+			devs[ch] = []*dram.Device{dev}
+		}
+		policy, err := memctrl.PolicyByName(polName, topo)
+		if err != nil {
+			panic(err)
+		}
+		ms := memctrl.NewSystem(devs, policy, memctrl.Config{})
+		findings, singles := attack.MiscorrectionHunt(ms, ^uint64(0), 2500, Shards())
+		var secded, indram, chipkill int
+		firstSilent := "-"
+		for _, f := range findings {
+			if f.SilentUnderSECDED() {
+				if firstSilent == "-" {
+					firstSilent = fmt.Sprintf("0x%08x", policy.Encode(f.Victim))
+				}
+				secded++
+			}
+			if f.InDRAM == ecc.Miscorrect {
+				indram++
+			}
+			if f.Chipkill == ecc.Miscorrect {
+				chipkill++
+			}
+		}
+		t.AddRow(polName,
+			fmt.Sprintf("%d", len(findings)),
+			fmt.Sprintf("%d", singles),
+			fmt.Sprintf("%d", secded),
+			fmt.Sprintf("%d", indram),
+			fmt.Sprintf("%d", chipkill),
+			firstSilent)
+	}
+	t.AddNote("identical injected clusters per channel under every policy; channels shard across -shards workers;")
+	t.AddNote("expected: counts identical down the table (the words are physical) while the first silent flat")
+	t.AddNote("address moves with the policy — what the attacker sprays depends on the mapping, not the silicon")
+	return t
+}
+
+// runE73 extends the E52 fleet to the ECC view: the same ~1M-DIMM
+// heavy-tailed error process, with each event's strike multiplicity
+// and positions drawn over the full 72-bit ECC word and classified
+// under SECDED (bit-exact decoder), the default on-die code, and x4
+// chipkill — three different error logs from one fleet.
+func runE73(seed uint64) *stats.Table {
+	cfg := fieldstudy.DefaultConfig()
+	cfg.Classes = []fieldstudy.DensityClass{
+		{Label: "1Gb", RateScale: 1.0, DIMMs: 300_000},
+		{Label: "2Gb", RateScale: 2.2, DIMMs: 350_000},
+		{Label: "4Gb", RateScale: 4.5, DIMMs: 350_000},
+	}
+	classes := fieldstudy.RunECCSharded(cfg, 0.30, 6, seed^0x73, Shards())
+	t := stats.NewTable("E73: ECC fleet study at 1M DIMMs (per-event classification, block-sharded)",
+		"density", "ecc", "events", "corrected", "detected", "silent", "silent/1M events")
+	for _, c := range classes {
+		type row struct {
+			name              string
+			corr, det, silent int64
+		}
+		for _, r := range []row{
+			{"secded", c.SECDEDCorrected, c.SECDEDDetected, c.SECDEDSilent},
+			{"indram", c.InDRAMCorrected, c.InDRAMDetected, c.InDRAMSilent},
+			{"chipkill", c.ChipkillCorrected, c.ChipkillDetected, c.ChipkillSilent},
+		} {
+			perM := 0.0
+			if c.Events > 0 {
+				perM = float64(r.silent) / float64(c.Events) * 1e6
+			}
+			t.AddRow(c.Label, r.name,
+				fmt.Sprintf("%d", c.Events),
+				fmt.Sprintf("%d", r.corr),
+				fmt.Sprintf("%d", r.det),
+				fmt.Sprintf("%d", r.silent),
+				fmt.Sprintf("%.0f", perM))
+		}
+	}
+	t.AddNote("events strike 1+Geometric(0.30) positions (capped at 6) across the 72-bit word, check bits")
+	t.AddNote("included; blocks of 8192 DIMMs on per-block substreams merge in block order — identical for")
+	t.AddNote("every worker count. expected: chipkill corrects the multi-bit single-symbol events SECDED")
+	t.AddNote("miscorrects, and no configuration's silent column is zero — the paper's case for stronger codes")
+	return t
+}

@@ -1,0 +1,80 @@
+package fieldstudy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// eccTestConfig spans multiple 8192-DIMM blocks per class so the
+// sharded merge path is actually exercised.
+func eccTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Classes = []DensityClass{
+		{"1Gb", 1.0, 20_000},
+		{"4Gb", 4.5, 12_000},
+	}
+	return cfg
+}
+
+func TestECCFleetWorkerInvariance(t *testing.T) {
+	for _, seed := range []uint64{1, 5} {
+		ref := RunECCSharded(eccTestConfig(), 0.30, 6, seed, 1)
+		for _, workers := range []int{2, 7} {
+			got := RunECCSharded(eccTestConfig(), 0.30, 6, seed, workers)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("seed %d: ECC fleet differs at %d workers:\n got %+v\nwant %+v",
+					seed, workers, got, ref)
+			}
+		}
+	}
+}
+
+func TestECCFleetClassification(t *testing.T) {
+	classes := RunECCSharded(eccTestConfig(), 0.30, 6, 3, 4)
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	for _, c := range classes {
+		if c.Events == 0 {
+			t.Fatalf("class %s saw no events", c.Label)
+		}
+		// Every event lands in exactly one bucket per configuration.
+		for name, sum := range map[string]int64{
+			"secded":   c.SECDEDCorrected + c.SECDEDDetected + c.SECDEDSilent,
+			"indram":   c.InDRAMCorrected + c.InDRAMDetected + c.InDRAMSilent,
+			"chipkill": c.ChipkillCorrected + c.ChipkillDetected + c.ChipkillSilent,
+		} {
+			if sum != c.Events {
+				t.Fatalf("class %s %s buckets sum to %d, want %d events", c.Label, name, sum, c.Events)
+			}
+		}
+		// Chipkill silence needs >2 struck symbols hence >2 struck bits:
+		// a subset of the on-die code's silent set.
+		if c.ChipkillSilent > c.InDRAMSilent {
+			t.Fatalf("class %s: chipkill silent %d exceeds on-die silent %d",
+				c.Label, c.ChipkillSilent, c.InDRAMSilent)
+		}
+		// Single-bit events dominate at multiFlipP=0.3, so most events
+		// are corrected everywhere; and SECDED must show some silent
+		// events (the >=3-flip tail) at this fleet size.
+		if c.SECDEDCorrected <= c.SECDEDSilent {
+			t.Fatalf("class %s: corrected (%d) should dominate silent (%d)",
+				c.Label, c.SECDEDCorrected, c.SECDEDSilent)
+		}
+	}
+}
+
+// TestECCFleetMultiplicityCap pins the maxFlips guard: with the chain
+// probability forced to 1 every event saturates at the cap, and a cap
+// of 1 makes every configuration correct everything.
+func TestECCFleetMultiplicityCap(t *testing.T) {
+	classes := RunECCSharded(eccTestConfig(), 1.0, 1, 9, 2)
+	for _, c := range classes {
+		if c.SECDEDSilent != 0 || c.InDRAMSilent != 0 || c.ChipkillSilent != 0 {
+			t.Fatalf("class %s: single-flip events went silent", c.Label)
+		}
+		if c.SECDEDCorrected != c.Events {
+			t.Fatalf("class %s: %d corrected of %d single-flip events", c.Label, c.SECDEDCorrected, c.Events)
+		}
+	}
+}

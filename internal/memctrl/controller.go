@@ -79,6 +79,9 @@ type Config struct {
 	// DisableRefresh turns auto-refresh off entirely (used by
 	// retention experiments that control refresh manually).
 	DisableRefresh bool
+	// ECC selects the DIMM's ECC configuration. The zero value is a
+	// non-ECC DIMM, bit-identical to the pre-ECC controller.
+	ECC ECCConfig
 }
 
 // Stats aggregates controller-side accounting.
@@ -89,9 +92,15 @@ type Stats struct {
 	RowConflicts  int64 // different row was open
 	AutoRefreshes int64 // REF commands issued
 	MitRefreshes  int64 // rows refreshed by mitigations
-	BusyTime      dram.Time
-	RefreshTime   dram.Time
-	MitTime       dram.Time
+	// ECC read-path triage (zero on non-ECC controllers): corrupted
+	// words whose error the code corrected, only detected, or turned
+	// into silent corruption (miscorrection or undetected pattern).
+	ECCCorrected int64
+	ECCDetected  int64
+	ECCSilent    int64
+	BusyTime     dram.Time
+	RefreshTime  dram.Time
+	MitTime      dram.Time
 }
 
 // Add accumulates other into s (aggregate roll-up across channels).
@@ -104,6 +113,9 @@ func (s *Stats) Add(other Stats) {
 	s.RowConflicts += other.RowConflicts
 	s.AutoRefreshes += other.AutoRefreshes
 	s.MitRefreshes += other.MitRefreshes
+	s.ECCCorrected += other.ECCCorrected
+	s.ECCDetected += other.ECCDetected
+	s.ECCSilent += other.ECCSilent
 	s.BusyTime += other.BusyTime
 	s.RefreshTime += other.RefreshTime
 	s.MitTime += other.MitTime
@@ -124,6 +136,10 @@ type Controller struct {
 	refPeriod  dram.Time
 	refMult    float64     // effective refresh multiplier (config × attached scaling)
 	lastAct    []dram.Time // per flat bank (rank*Banks+bank), for tRC enforcement
+
+	// ecc classifies every read against the controller's shadow words
+	// (nil on non-ECC configurations; see ecc.go).
+	ecc *eccLayer
 
 	mitigations []Mitigation
 	observers   int `snapshot:"derived"` // attached mitigations that are not passive
@@ -166,6 +182,9 @@ func NewMultiRank(devs []*dram.Device, cfg Config) *Controller {
 		amap:    AddressMap{Geom: g},
 		lastAct: make([]dram.Time, len(devs)*g.Banks),
 	}
+	if cfg.ECC.Kind != ECCNone {
+		c.ecc = newECCLayer(cfg.ECC, g, len(devs))
+	}
 	c.refMult = cfg.RefreshMultiplier
 	c.refPeriod = dram.Time(float64(devs[0].Timing.TREFI) / cfg.RefreshMultiplier)
 	if c.refPeriod < 1 {
@@ -190,6 +209,11 @@ func (c *Controller) Map() AddressMap { return c.amap }
 
 // Now returns the current simulated time.
 func (c *Controller) Now() dram.Time { return c.now }
+
+// ECCEnabled reports whether the controller has an ECC layer attached.
+// Offline classification passes (attack.MiscorrectionHunt) use it to
+// refuse systems whose reads would be ECC-filtered.
+func (c *Controller) ECCEnabled() bool { return c.ecc != nil }
 
 // refreshScaler is the hook through which an attached mitigation
 // multiplies the controller's refresh rate (RefreshScaling implements
@@ -227,6 +251,9 @@ func (c *Controller) Attach(m Mitigation) {
 	c.mitigations = append(c.mitigations, m)
 	if _, ok := m.(passiveMitigation); !ok {
 		c.observers++
+	}
+	if sc, ok := m.(*Scrubber); ok {
+		sc.bind(c)
 	}
 	if rp, ok := m.(autoRefreshPolicy); ok {
 		if c.refPolicy != nil {
@@ -353,9 +380,15 @@ func (c *Controller) AccessRanked(rank int, co Coord, write bool, data uint64) (
 	var out uint64
 	if write {
 		dev.Write(co.Bank, co.Col, data)
+		if c.ecc != nil {
+			c.ecc.onWrite(rank, co.Bank, phys, co.Col, data)
+		}
 		out = data
 	} else {
 		out = dev.Read(co.Bank, co.Col)
+		if c.ecc != nil {
+			out = c.ecc.onRead(&c.Stats, rank, co.Bank, phys, co.Col, out)
+		}
 	}
 	c.Stats.Accesses++
 	c.Stats.BusyTime += c.now - start
@@ -388,10 +421,12 @@ func (c *Controller) HammerPairs(bank, rowA, rowB, pairs int) {
 //
 // The fast path applies only while no observing mitigation is attached
 // (observers see, and may act on, every individual activation; passive
-// mitigations such as RefreshScaling do not disable it) and every
-// attached fault model accepts batching for the hammered row pair;
-// otherwise the loop falls back to per-access dispatch, which is exact
-// by construction.
+// mitigations such as RefreshScaling do not disable it), the controller
+// has no ECC layer (ECC classifies the data of every read, and
+// BatchReads transfers none — a previously corrupted aggressor word
+// must count an ECC event per read), and every attached fault model
+// accepts batching for the hammered row pair; otherwise the loop falls
+// back to per-access dispatch, which is exact by construction.
 func (c *Controller) HammerPairsRanked(rank, bank, rowA, rowB, pairs int) {
 	coA := Coord{Bank: bank, Row: rowA}
 	coB := Coord{Bank: bank, Row: rowB}
@@ -399,7 +434,7 @@ func (c *Controller) HammerPairsRanked(rank, bank, rowA, rowB, pairs int) {
 		c.AccessRanked(rank, coA, false, 0)
 		c.AccessRanked(rank, coB, false, 0)
 	}
-	if c.observers > 0 || rowA == rowB ||
+	if c.observers > 0 || c.ecc != nil || rowA == rowB ||
 		rowA < 0 || rowA >= c.cfg.Geom.Rows || rowB < 0 || rowB >= c.cfg.Geom.Rows {
 		for i := 0; i < pairs; i++ {
 			naivePair()

@@ -28,6 +28,7 @@ var (
 	_ StatefulMitigation = (*Graphene)(nil)
 	_ StatefulMitigation = (*TWiCe)(nil)
 	_ StatefulMitigation = (*MultiRateRefresh)(nil)
+	_ StatefulMitigation = (*Scrubber)(nil)
 )
 
 // --- PARA ---
@@ -380,6 +381,9 @@ func (c *Controller) SaveState(w *snapshot.Writer) {
 	w.I64(c.Stats.RowConflicts)
 	w.I64(c.Stats.AutoRefreshes)
 	w.I64(c.Stats.MitRefreshes)
+	w.I64(c.Stats.ECCCorrected)
+	w.I64(c.Stats.ECCDetected)
+	w.I64(c.Stats.ECCSilent)
 	w.U64(uint64(c.Stats.BusyTime))
 	w.U64(uint64(c.Stats.RefreshTime))
 	w.U64(uint64(c.Stats.MitTime))
@@ -396,6 +400,12 @@ func (c *Controller) SaveState(w *snapshot.Writer) {
 		} else {
 			w.Bool(false)
 		}
+	}
+	// The ECC shadow is present exactly when the configuration enables
+	// ECC; the load target is built from the same configuration, so
+	// presence needs no marker byte.
+	if c.ecc != nil {
+		c.ecc.SaveState(w)
 	}
 }
 
@@ -430,6 +440,9 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 	st.RowConflicts = r.I64()
 	st.AutoRefreshes = r.I64()
 	st.MitRefreshes = r.I64()
+	st.ECCCorrected = r.I64()
+	st.ECCDetected = r.I64()
+	st.ECCSilent = r.I64()
 	st.BusyTime = dram.Time(r.U64())
 	st.RefreshTime = dram.Time(r.U64())
 	st.MitTime = dram.Time(r.U64())
@@ -477,6 +490,11 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 			if err := sm.LoadState(r); err != nil {
 				return err
 			}
+		}
+	}
+	if c.ecc != nil {
+		if err := c.ecc.LoadState(r); err != nil {
+			return err
 		}
 	}
 	return nil
