@@ -100,6 +100,11 @@ func BenchmarkE60SSDFrontier(b *testing.B)        { benchExperiment(b, "E60") }
 func BenchmarkE61FlashEquivalence(b *testing.B)   { benchExperiment(b, "E61") }
 func BenchmarkE62PCMFleet(b *testing.B)           { benchExperiment(b, "E62") }
 func BenchmarkE63FlashFieldStudy(b *testing.B)    { benchExperiment(b, "E63") }
+func BenchmarkE80KernelEquivalence(b *testing.B)  { benchExperiment(b, "E80") }
+func BenchmarkE81PrivEscSystem(b *testing.B)      { benchExperiment(b, "E81") }
+func BenchmarkE82Tournament(b *testing.B)         { benchExperiment(b, "E82") }
+func BenchmarkE83CrossVMSystem(b *testing.B)      { benchExperiment(b, "E83") }
+func BenchmarkE84RefreshSyncAttack(b *testing.B)  { benchExperiment(b, "E84") }
 
 // BenchmarkMultiChannelSweep is the multi-channel hammer hot path in
 // isolation: a cross-bank campaign over a 4-channel 2-rank topology,

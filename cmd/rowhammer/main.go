@@ -10,9 +10,9 @@
 // Usage:
 //
 //	rowhammer [-year 2013] [-pairs 30000]
-//	          [-mode double|single|many|nsided|adaptive]
+//	          [-mode double|single|many|nsided|adaptive|privesc|crossvm|tournament]
 //	          [-mitigation none|para|cra|trr|anvil|graphene|twice|refresh2|refresh7|raidr4|raidr8]
-//	          [-sides N] [-decoys N] [-seed N]
+//	          [-sides N] [-decoys N] [-seed N] [-strategy name]
 //	          [-channels 1] [-ranks 1] [-mapping row|channel|xor]
 //	          [-shards N] [-ecc none|secded|indram|chipkill] [-scrub N]
 //
@@ -21,6 +21,16 @@
 // -mode adaptive first probes the sidedness sweep on channel 0 and
 // then attacks the whole topology with the winner. -mitigate remains
 // as a deprecated alias of -mitigation.
+//
+// The three system modes run whole exploit chains instead of a raw
+// hammer sweep, and close with a single RESULT verdict line
+// (EXPLOITABLE / mitigated / ECC-aware outcomes): -mode privesc walks
+// the mapping-aware page-table-spray escalation chain; -mode crossvm
+// gives the attacker the middle half of the flat physical space and
+// asks whether it can flip bits in the co-tenant's rows; -mode
+// tournament runs one attacker strategy (-strategy double, single,
+// nsided, adaptive or refsync) through the templating + hammer-cell
+// pipeline of E82 and reports time-to-first-exploitable-flip.
 //
 // -ecc puts an ECC layer on every channel's read path, so the report
 // splits the induced flips into corrected / detected / silent words —
@@ -70,12 +80,15 @@ func run() (err error) {
 	}()
 	year := flag.Int("year", 2013, "module class year (2008-2014)")
 	pairs := flag.Int("pairs", 30000, "hammer pairs (or N-sided rounds) per victim")
-	mode := flag.String("mode", "double", "hammer mode: double, single, many, nsided, adaptive")
+	mode := flag.String("mode", "double",
+		"hammer mode: double, single, many, nsided, adaptive, privesc, crossvm, tournament")
 	mitigation := flag.String("mitigation", "none",
 		"mitigation: none, para, cra, trr, anvil, graphene, twice, refresh2, refresh7, raidr4, raidr8")
 	mitigate := flag.String("mitigate", "", "deprecated alias of -mitigation")
 	sides := flag.Int("sides", 4, "aggressor rows per N-sided region (nsided mode)")
 	decoys := flag.Int("decoys", 2, "decoy rows per bank (nsided/adaptive modes)")
+	strategy := flag.String("strategy", "double",
+		"attacker strategy for -mode tournament: double, single, nsided, adaptive, refsync")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	channels := flag.Int("channels", 1, "number of channels")
 	ranks := flag.Int("ranks", 1, "ranks per channel")
@@ -99,6 +112,11 @@ func run() (err error) {
 	}
 	if (*mode == "nsided" || *mode == "adaptive") && *sides < 2 {
 		return fmt.Errorf("-sides %d: an N-sided pattern needs at least 2 aggressors", *sides)
+	}
+	if *mode == "tournament" {
+		if _, err := attack.NewStrategy(*strategy); err != nil {
+			return fmt.Errorf("-strategy %q: %w", *strategy, err)
+		}
 	}
 	if *decoys < 0 {
 		return fmt.Errorf("-decoys %d must be non-negative", *decoys)
@@ -218,6 +236,13 @@ func run() (err error) {
 	fmt.Printf("topology=%s mapping=%s mode=%s pairs=%d mitigation=%s ecc=%s scrub=%d\n",
 		topo, s.Mem.Policy().Name(), *mode, *pairs, *mitigation, eccCfg.Kind, *scrub)
 
+	// The system modes run whole exploit chains with their own memory
+	// preparation and reporting; the raw hammer sweep below never runs.
+	switch *mode {
+	case "privesc", "crossvm", "tournament":
+		return runSystemMode(s, topo, *mode, *strategy, *pairs, *shards, *seed)
+	}
+
 	// Fill memory with a checkerboard so both true- and anti-cells sit
 	// in their charged state somewhere, as the original test program's
 	// pattern passes do. Writes go through each channel's controller.
@@ -294,6 +319,63 @@ func run() (err error) {
 	}
 
 	reportResults(s, eccCfg.Kind != memctrl.ECCNone)
+	return nil
+}
+
+// runSystemMode drives the three whole-chain modes against the built
+// system and closes with the one-line RESULT verdict. All three go
+// through the ordinary controller access path under whatever
+// mitigation and ECC the flags attached.
+func runSystemMode(s *core.System, topo dram.Topology, mode, strategyName string, pairs, shards int, seed uint64) error {
+	frames := int(topo.Bytes() / (uint64(topo.Geom.Cols) * 8))
+	switch mode {
+	case "privesc":
+		res := attack.RunPrivEscSystem(s.Mem, attack.SysPrivEscConfig{
+			SprayFraction:   0.5,
+			PairsPerAttempt: pairs,
+			MaxPlacements:   25,
+			// Drammer massaging needs a power-of-two frame count;
+			// fall back to probabilistic placement otherwise.
+			Deterministic: frames&(frames-1) == 0,
+			Workers:       shards,
+		}, rng.New(seed^0x9E))
+		fmt.Printf("templates=%d usable=%v placements=%d hammer pairs=%d pte-flip=%v escalated=%v\n",
+			res.TemplatesFound, res.UsableTemplate, res.Placements, res.HammerPairs,
+			res.FlipInduced, res.Escalated)
+		if res.ECCCorrected+res.ECCDetected+res.ECCSilent > 0 {
+			fmt.Printf("ecc words: corrected=%d detected=%d silent=%d\n",
+				res.ECCCorrected, res.ECCDetected, res.ECCSilent)
+		}
+		fmt.Printf("RESULT: %s\n", res.Verdict)
+	case "crossvm":
+		res := attack.RunCrossVMSystem(s.Mem, attack.SysCrossVMConfig{
+			FrameLo: frames / 4, FrameHi: 3 * frames / 4,
+			Pairs: pairs, VictimPattern: ^uint64(0), Workers: shards,
+		})
+		fmt.Printf("rows: attacker=%d victim=%d contested=%d; hammer pairs=%d victim flips=%d\n",
+			res.AttackerRows, res.VictimRows, res.ContestedRows, res.HammerPairs, res.VictimFlips)
+		if res.ECCCorrected+res.ECCDetected+res.ECCSilent > 0 {
+			fmt.Printf("ecc words: corrected=%d detected=%d silent=%d\n",
+				res.ECCCorrected, res.ECCDetected, res.ECCSilent)
+		}
+		fmt.Printf("RESULT: %s\n", res.Verdict)
+	case "tournament":
+		strat, err := attack.NewStrategy(strategyName)
+		if err != nil {
+			return err
+		}
+		const pattern = uint64(0xaaaaaaaaaaaaaaaa)
+		victims := attack.TemplateVictims(s.Mem, pattern, pairs, shards, 8)
+		fmt.Printf("templated victim rows: %d (cap 8)\n", len(victims))
+		cell := attack.RunTournamentCell(s.Mem, strat, victims, pattern, 600, 8)
+		fmt.Printf("strategy=%s sides=%d rounds=%d flips=%d\n",
+			cell.Strategy, cell.Sides, cell.Rounds, cell.Flips)
+		if cell.Exploited {
+			fmt.Printf("RESULT: EXPLOITABLE — first flip after %d device ticks\n", cell.TimeToExploit)
+		} else {
+			fmt.Println("RESULT: mitigated — no exploitable flip within budget")
+		}
+	}
 	return nil
 }
 

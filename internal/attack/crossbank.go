@@ -33,6 +33,18 @@ func AdjacentAddrs(p memctrl.MappingPolicy, addr uint64) (below, above uint64, o
 	return p.Encode(lo), p.Encode(hi), true
 }
 
+// AdjacentLocs is AdjacentAddrs decoded back through the policy: the
+// locations of the two rows sandwiching addr's row, ready to hammer
+// (the system-level exploit chains derive their aggressor rows this
+// way rather than assuming flat-address adjacency).
+func AdjacentLocs(p memctrl.MappingPolicy, addr uint64) (below, above memctrl.Loc, ok bool) {
+	lo, hi, ok := AdjacentAddrs(p, addr)
+	if !ok {
+		return memctrl.Loc{}, memctrl.Loc{}, false
+	}
+	return p.Decode(lo), p.Decode(hi), true
+}
+
 // EnumerateVictims lists the interior victim rows of every channel,
 // rank and bank of a topology, starting at row start and stepping by
 // stride — the shared victim-selection sweep of the cross-bank

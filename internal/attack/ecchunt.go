@@ -38,6 +38,17 @@ type ECCWordFinding struct {
 // into silent corruption.
 func (f ECCWordFinding) SilentUnderSECDED() bool { return f.SECDED == ecc.Miscorrect }
 
+// flipBitsOf expands a victim-word diff into its flipped within-word
+// bit positions, ascending — the shared extraction step of every pass
+// that classifies multi-flip words.
+func flipBitsOf(diff uint64) []int {
+	var bits []int
+	for d := diff; d != 0; d &= d - 1 {
+		bits = append(bits, trailingZeros(d))
+	}
+	return bits
+}
+
 // classifyWordFlips runs the flip set through the three codes.
 func classifyWordFlips(pattern uint64, bits []int) (secded, indram, chipkill ecc.Outcome) {
 	cw := ecc.Encode(pattern)
@@ -111,10 +122,7 @@ func MiscorrectionHunt(ms *memctrl.MemorySystem, pattern uint64, pairsPerRow, wo
 						if diff == 0 {
 							continue
 						}
-						var flipped []int
-						for d := diff; d != 0; d &= d - 1 {
-							flipped = append(flipped, trailingZeros(d))
-						}
+						flipped := flipBitsOf(diff)
 						if len(flipped) < 2 {
 							singles[ch]++
 							continue

@@ -13,8 +13,6 @@ package attack
 // the victims back, powers any user-level program has.
 
 import (
-	"fmt"
-
 	"repro/internal/memctrl"
 )
 
@@ -128,49 +126,12 @@ type SidednessProbe struct {
 // It panics when the bank cannot hold the probe regions plus the decoy
 // rows: the bank needs 1 + len(sweep)*(2*max(sweep)+2) rows at the
 // bottom and 2*decoys+2 rows at the top.
+// It delegates to AdaptiveStrategy.Probe (the strategy form of this
+// attacker); the equivalence test in strategy_test.go pins the
+// delegation bit-for-bit against a verbatim copy of the seed-era
+// probe loop.
 func AdaptiveNSided(c *memctrl.Controller, rank, bank int, sweep []int, decoys, budget int, pattern uint64) (int, []SidednessProbe) {
-	maxSides := 0
-	for _, s := range sweep {
-		if s > maxSides {
-			maxSides = s
-		}
-	}
-	rows := c.Map().Geom.Rows
-	if need := 1 + len(sweep)*(2*maxSides+2) + 2*decoys + 2; rows < need {
-		panic(fmt.Sprintf("attack: AdaptiveNSided needs %d rows for sweep %v with %d decoys; bank has %d",
-			need, sweep, decoys, rows))
-	}
-	decoyRows := DecoyRows(rows, decoys)
-	probes := make([]SidednessProbe, 0, len(sweep))
-	base := 1
-	bestSides, bestFlips := 0, -1
-	for _, sides := range sweep {
-		aggr := NSidedAggressors(base, sides)
-		victims := NSidedVictims(base, sides)
-		for _, a := range aggr {
-			writeRowRanked(c, rank, bank, a, ^pattern)
-		}
-		for _, v := range victims {
-			writeRowRanked(c, rank, bank, v, pattern)
-		}
-		rounds := budget / (sides + decoys)
-		NSidedRanked(c, rank, bank, aggr, decoyRows, rounds)
-		flips := 0
-		for _, v := range victims {
-			for _, w := range readRowRanked(c, rank, bank, v) {
-				flips += popcount(w ^ pattern)
-			}
-		}
-		probes = append(probes, SidednessProbe{
-			Sides:       sides,
-			Flips:       flips,
-			Activations: int64(rounds * (sides + decoys)),
-		})
-		if flips > bestFlips {
-			bestFlips, bestSides = flips, sides
-		}
-		base += 2*maxSides + 2
-		c.AdvanceTo(c.Now() + c.Device().Timing.RetentionWindow())
-	}
-	return bestSides, probes
+	s := &AdaptiveStrategy{Sweep: sweep, Decoys: decoys, Budget: budget}
+	s.Probe(Target{Ctrl: c, Rank: rank, Bank: bank, Pattern: pattern})
+	return s.BestSides(), s.Probes()
 }

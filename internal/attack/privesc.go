@@ -29,6 +29,12 @@ const (
 // MakePTE builds a valid, writable PTE pointing at frame pfn.
 func MakePTE(pfn uint64) uint64 { return PTEValid | PTEWritable | (pfn & PFNMask) }
 
+// pfnUsable reports whether a flip at within-row bit position bit
+// lands in the PFN field of an 8-byte-aligned PTE slot — the
+// usability test of both the single-bank and the system-wide
+// escalation chains.
+func pfnUsable(bit int) bool { return bit%64 < PFNBits }
+
 // FrameKind classifies what a physical frame (== row, in this model)
 // currently holds.
 type FrameKind uint8
@@ -90,7 +96,7 @@ func RunPrivEsc(c *memctrl.Controller, cfg PrivEscConfig, src *rng.Stream) PrivE
 	// aligned PTE slot and flips a 1 to 0 or 0 to 1 inside PFNBits.
 	var tmpl *FlipTemplate
 	for i := range templates {
-		if templates[i].Bit%64 < PFNBits {
+		if pfnUsable(templates[i].Bit) {
 			tmpl = &templates[i]
 			break
 		}

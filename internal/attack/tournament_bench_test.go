@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/snapshot"
+)
+
+// The tournament's economic argument: every (defence, policy) group
+// templates once and every strategy cell starts from the snapshot.
+// BenchmarkTournamentRebuild is the path the tournament avoids — a
+// fresh rig re-templated from scratch per cell; CloneRestore is the
+// path it takes — a twin build overlaid with the saved state. The
+// BENCH_*.json ledger tracks the ratio (clone must stay well ahead).
+
+func tournamentBenchPolicy(b *testing.B) memctrl.MappingPolicy {
+	b.Helper()
+	policy, err := memctrl.PolicyByName("row", tournamentTopo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return policy
+}
+
+func BenchmarkTournamentRebuild(b *testing.B) {
+	policy := tournamentBenchPolicy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ms := tournamentRig(policy)
+		victims := TemplateVictims(ms, 0xaaaaaaaaaaaaaaaa, 1200, 1, 3)
+		if len(victims) == 0 {
+			b.Fatal("templating found no victims; benchmark is vacuous")
+		}
+	}
+}
+
+func BenchmarkTournamentCloneRestore(b *testing.B) {
+	policy := tournamentBenchPolicy(b)
+	templated := tournamentRig(policy)
+	victims := TemplateVictims(templated, 0xaaaaaaaaaaaaaaaa, 1200, 1, 3)
+	if len(victims) == 0 {
+		b.Fatal("templating found no victims; benchmark is vacuous")
+	}
+	var w snapshot.Writer
+	templated.SaveState(&w)
+	snap := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := tournamentRig(policy)
+		if err := clone.LoadState(snapshot.NewReader(snap)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

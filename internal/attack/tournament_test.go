@@ -1,0 +1,152 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/disturb"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/snapshot"
+)
+
+// tournamentTopo holds enough rows for every roster strategy
+// (the adaptive probe's sweep regions pack from row 1 upward).
+var tournamentTopo = dram.Topology{Channels: 2, Ranks: 1, Geom: dram.Geometry{Banks: 1, Rows: 256, Cols: 4}}
+
+// tournamentRig injects one weak PFN-field cell per interior even row
+// of every channel — plenty of victims for templating and hammering.
+func tournamentRig(policy memctrl.MappingPolicy) *memctrl.MemorySystem {
+	return sysRig(tournamentTopo, policy, false, func(ch int, m *disturb.Model) {
+		for v := 4; v < tournamentTopo.Geom.Rows-8; v += 2 {
+			m.InjectWeakCell(0, v, 1, 400, 1, 1, 1, 1)
+		}
+	})
+}
+
+func rowPolicy(t *testing.T, topo dram.Topology) memctrl.MappingPolicy {
+	t.Helper()
+	policy, err := memctrl.PolicyByName("row", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return policy
+}
+
+// TestTemplateVictimsDedupAndShardInvariant checks the shared
+// reconnaissance step: one entry per victim row (several flipped bits
+// in one row collapse), identical across worker counts, and the cap
+// keeps the deterministic prefix.
+func TestTemplateVictimsDedupAndShardInvariant(t *testing.T) {
+	policy := rowPolicy(t, privescTopo)
+	build := func() *memctrl.MemorySystem {
+		return sysRig(privescTopo, policy, false, func(ch int, m *disturb.Model) {
+			// Two bits in row 15 (dedup case), one in row 30.
+			m.InjectWeakCell(0, 15, 3, 800, 1, 1, 1, 1)
+			m.InjectWeakCell(0, 15, 9, 800, 1, 1, 1, 1)
+			m.InjectWeakCell(0, 30, 5, 800, 1, 1, 1, 1)
+		})
+	}
+	serial := TemplateVictims(build(), ^uint64(0), 1200, 1, 0)
+	sharded := TemplateVictims(build(), ^uint64(0), 1200, 4, 0)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("victim lists diverged across workers:\n%v\n%v", serial, sharded)
+	}
+	if len(serial) != 2*privescTopo.Channels {
+		t.Fatalf("want %d victim rows (2 per channel), got %v", 2*privescTopo.Channels, serial)
+	}
+	seen := map[memctrl.Loc]bool{}
+	for _, v := range serial {
+		if v.Col != 0 {
+			t.Fatalf("victim %v not column-normalized", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate victim %v", v)
+		}
+		seen[v] = true
+	}
+	capped := TemplateVictims(build(), ^uint64(0), 1200, 2, 1)
+	if len(capped) != 1 || capped[0] != serial[0] {
+		t.Fatalf("cap broke the deterministic prefix: %v vs %v", capped, serial)
+	}
+}
+
+// TestTournamentCellCloneMatchesOriginal is the tournament's restore
+// contract at the attack layer: a cell run on a snapshot-restored
+// clone is bit-identical — same cell result, same controller stats and
+// clocks — to the same cell run on the original system.
+func TestTournamentCellCloneMatchesOriginal(t *testing.T) {
+	policy := rowPolicy(t, tournamentTopo)
+	original := tournamentRig(policy)
+	victims := TemplateVictims(original, 0xaaaaaaaaaaaaaaaa, 1200, 2, 4)
+	if len(victims) == 0 {
+		t.Fatal("templating found no victims")
+	}
+	var w snapshot.Writer
+	original.SaveState(&w)
+
+	clone := tournamentRig(policy) // identical build spec, untouched
+	if err := clone.LoadState(snapshot.NewReader(w.Bytes())); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+
+	for _, name := range []string{"double", "refsync"} {
+		sOrig, err := NewStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sClone, err := NewStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := RunTournamentCell(original, sOrig, victims, 0xaaaaaaaaaaaaaaaa, 300, 8)
+		b := RunTournamentCell(clone, sClone, victims, 0xaaaaaaaaaaaaaaaa, 300, 8)
+		if a != b {
+			t.Fatalf("%s: clone cell diverged:\n%+v\n%+v", name, a, b)
+		}
+		if !a.Exploited || a.TimeToExploit == 0 {
+			t.Fatalf("%s: cell never exploited on a vulnerable rig: %+v", name, a)
+		}
+		for ch := 0; ch < original.Channels(); ch++ {
+			co, cc := original.Controller(ch), clone.Controller(ch)
+			if co.Stats != cc.Stats || co.Now() != cc.Now() {
+				t.Fatalf("%s: channel %d controller state diverged", name, ch)
+			}
+		}
+	}
+}
+
+// TestTournamentCellRosterExploitsVulnerableRig runs every registered
+// strategy through one cell on the vulnerable rig: all must exploit,
+// spend budget, and report their planned sidedness.
+func TestTournamentCellRosterExploitsVulnerableRig(t *testing.T) {
+	policy := rowPolicy(t, tournamentTopo)
+	for _, name := range StrategyNames() {
+		s, err := NewStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := tournamentRig(policy)
+		victims := TemplateVictims(ms, 0xaaaaaaaaaaaaaaaa, 1200, 2, 3)
+		cell := RunTournamentCell(ms, s, victims, 0xaaaaaaaaaaaaaaaa, 400, 10)
+		if cell.Strategy != s.Name() {
+			t.Fatalf("cell strategy %q != %q", cell.Strategy, s.Name())
+		}
+		if !cell.Exploited || cell.Flips == 0 || cell.Rounds == 0 {
+			t.Fatalf("%s: cell failed on vulnerable rig: %+v", name, cell)
+		}
+		if cell.Sides < 1 {
+			t.Fatalf("%s: no committed plan: %+v", name, cell)
+		}
+	}
+}
+
+// TestTournamentCellEmptyVictims pins the degenerate path: no
+// reconnaissance results means no time spent and no exploit.
+func TestTournamentCellEmptyVictims(t *testing.T) {
+	ms := tournamentRig(rowPolicy(t, tournamentTopo))
+	cell := RunTournamentCell(ms, &DoubleSidedStrategy{}, nil, 0, 100, 5)
+	if cell.Exploited || cell.Rounds != 0 || cell.TimeToExploit != 0 {
+		t.Fatalf("empty-victim cell did work: %+v", cell)
+	}
+}

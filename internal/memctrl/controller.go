@@ -210,6 +210,18 @@ func (c *Controller) Map() AddressMap { return c.amap }
 // Now returns the current simulated time.
 func (c *Controller) Now() dram.Time { return c.now }
 
+// RefreshPeriod returns the effective tREFI: the nominal interval
+// scaled by the configured and attached refresh multipliers. An
+// attacker can measure it from outside through REF-induced latency
+// spikes (the SMASH/Blacksmith synchronization primitive), so exposing
+// it grants no power a user-level program lacks.
+func (c *Controller) RefreshPeriod() dram.Time { return c.refPeriod }
+
+// NextRefreshDue returns when the next REF command comes due. The
+// refresh-sync attack strategy uses it to align hammer bursts to the
+// refresh schedule it has (in the real attack) inferred from timing.
+func (c *Controller) NextRefreshDue() dram.Time { return c.nextRefDue }
+
 // ECCEnabled reports whether the controller has an ECC layer attached.
 // Offline classification passes (attack.MiscorrectionHunt) use it to
 // refuse systems whose reads would be ECC-filtered.

@@ -11,7 +11,7 @@ func TestFacade(t *testing.T) {
 	if s.Ctrl == nil {
 		t.Fatal("Build returned incomplete system")
 	}
-	if len(Experiments()) != 50 {
+	if len(Experiments()) != 55 {
 		t.Fatalf("experiments = %d", len(Experiments()))
 	}
 	if _, ok := RunExperiment("E2", 1); !ok {
